@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the membership layer: the cost of one full
+//! gossip cycle (Cyclon + Vicinity for every node) at different network
+//! sizes, and the cost of a single node join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hybridcast_sim::{Network, SimConfig};
+
+fn warmed_network(nodes: usize) -> Network {
+    let mut network = Network::new(
+        SimConfig {
+            nodes,
+            ..SimConfig::default()
+        },
+        7,
+    );
+    network.run_cycles(30);
+    network
+}
+
+fn bench_gossip_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("membership/gossip_cycle");
+    for &nodes in &[250usize, 1_000, 4_000] {
+        let network = warmed_network(nodes);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter_batched(
+                || network.clone(),
+                |mut net| net.run_cycles(1),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_node_join(c: &mut Criterion) {
+    let network = warmed_network(1_000);
+    c.bench_function("membership/node_join", |b| {
+        b.iter_batched(
+            || network.clone(),
+            |mut net| {
+                let introducer = net.random_live_node();
+                net.spawn_node(introducer)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_gossip_cycle, bench_node_join);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation for the reliability extension of Section 8: how the d-link
+//! structure (single ring, 2 or 3 independent rings, a static Harary graph
+//! of connectivity 4) affects RingCast's miss ratio after a catastrophic
+//! failure (`--fraction`, default 5 %).
+
+use std::process::ExitCode;
+
+use hybridcast_bench::{figures, output, Args, ExperimentParams};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let params = ExperimentParams::from_args(&args)?;
+    let fraction: f64 = args.get_or("fraction", 0.05)?;
+    eprintln!(
+        "# ablation: d-link connectivity under {:.0}% failure, {} nodes, {} runs",
+        fraction * 100.0,
+        params.nodes,
+        params.runs
+    );
+    let rows = figures::connectivity_ablation(&params, fraction);
+    println!(
+        "{:<24} {:>6} {:>12} {:>10} {:>14}",
+        "d-link structure", "fanout", "miss_ratio", "complete", "msgs_total"
+    );
+    for (label, stats) in &rows {
+        println!(
+            "{:<24} {:>6} {:>12.6} {:>9.1}% {:>14.1}",
+            label,
+            stats.fanout,
+            stats.mean_miss_ratio,
+            stats.complete_fraction * 100.0,
+            stats.mean_total_messages
+        );
+    }
+    if let Some(path) = args.value("json") {
+        output::write_json(std::path::Path::new(path), &rows).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Ablation for the claim of Section 7.1: freezing the membership overlay at
+//! different instants (0, 20, 50 extra cycles after warm-up; override with
+//! `--extra-cycles`) does not change the macroscopic dissemination
+//! behaviour.
+
+use std::process::ExitCode;
+
+use hybridcast_bench::{figures, output, Args, ExperimentParams};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let params = ExperimentParams::from_args(&args)?;
+    let extra = args.get_list_or("extra-cycles", vec![0usize, 20, 50])?;
+    eprintln!(
+        "# ablation: frozen-overlay instants {:?}, {} nodes, {} runs/fanout",
+        extra, params.nodes, params.runs
+    );
+    let tables = figures::frozen_overlay_ablation(&params, &extra);
+    for (offset, table) in &tables {
+        println!("## frozen {offset} cycles after warm-up");
+        print!("{}", output::render_effectiveness(table));
+        println!();
+    }
+    if let Some(path) = args.value("json") {
+        output::write_json(std::path::Path::new(path), &tables).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

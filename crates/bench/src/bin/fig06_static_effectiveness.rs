@@ -1,0 +1,36 @@
+//! Reproduces **Figure 6** of the paper: dissemination effectiveness (miss
+//! ratio and percentage of complete disseminations) as a function of the
+//! fanout, for RandCast and RingCast, in a static failure-free network.
+//!
+//! Run with `--paper` for the paper's full scale (10,000 nodes, 100 runs per
+//! fanout); the default is a quick 2,000-node sweep. `--json <path>` dumps
+//! the raw table.
+
+use std::process::ExitCode;
+
+use hybridcast_bench::{figures, output, Args, ExperimentParams};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let params = ExperimentParams::from_args(&args)?;
+    eprintln!(
+        "# fig06: static failure-free, {} nodes, {} runs/fanout, fanouts {:?}",
+        params.nodes, params.runs, params.fanouts
+    );
+    let table = figures::static_effectiveness(&params);
+    print!("{}", output::render_effectiveness(&table));
+    if let Some(path) = args.value("json") {
+        output::write_json(std::path::Path::new(path), &table).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

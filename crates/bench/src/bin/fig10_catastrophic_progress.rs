@@ -1,0 +1,37 @@
+//! Reproduces **Figure 10** of the paper: dissemination progress after a
+//! catastrophic failure killing 5 % of the nodes (override with
+//! `--fraction`), for fanouts 2, 3, 5 and 10.
+
+use std::process::ExitCode;
+
+use hybridcast_bench::{figures, output, Args, ExperimentParams};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let params = ExperimentParams::from_args(&args)?;
+    let fraction: f64 = args.get_or("fraction", 0.05)?;
+    let fanouts = args.get_list_or("fanouts", vec![2usize, 3, 5, 10])?;
+    eprintln!(
+        "# fig10: progress after {:.0}% failure, {} nodes, {} runs, fanouts {:?}",
+        fraction * 100.0,
+        params.nodes,
+        params.runs,
+        fanouts
+    );
+    let series = figures::catastrophic_progress(&params, fraction, &fanouts);
+    print!("{}", output::render_progress(&series));
+    if let Some(path) = args.value("json") {
+        output::write_json(std::path::Path::new(path), &series).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Reproduces **Figure 11** of the paper: dissemination effectiveness as a
+//! function of the fanout in churn steady state (0.2 % of the nodes replaced
+//! per cycle, the rate the paper derives from the Gnutella traces).
+
+use std::process::ExitCode;
+
+use hybridcast_bench::{figures, output, Args, ExperimentParams};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let params = ExperimentParams::from_args(&args)?;
+    eprintln!(
+        "# fig11: churn {}%/cycle, {} nodes, {} runs/fanout",
+        params.churn_rate * 100.0,
+        params.nodes,
+        params.runs
+    );
+    let (table, cycles) = figures::churn_effectiveness(&params);
+    eprintln!("# churn warm-up took {cycles} cycles");
+    print!("{}", output::render_effectiveness(&table));
+    if let Some(path) = args.value("json") {
+        output::write_json(std::path::Path::new(path), &table).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

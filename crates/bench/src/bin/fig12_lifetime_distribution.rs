@@ -1,0 +1,35 @@
+//! Reproduces **Figure 12** of the paper: the distribution of node lifetimes
+//! in churn steady state (`--repeats` controls how many independently
+//! seeded experiments are aggregated; the paper uses 100).
+
+use std::process::ExitCode;
+
+use hybridcast_bench::{figures, output, Args, ExperimentParams};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::from_env()?;
+    let params = ExperimentParams::from_args(&args)?;
+    let repeats: usize = args.get_or("repeats", 1)?;
+    eprintln!(
+        "# fig12: lifetime distribution, {} nodes, churn {}%/cycle, {} repeats",
+        params.nodes,
+        params.churn_rate * 100.0,
+        repeats
+    );
+    let histogram = figures::lifetime_distribution(&params, repeats);
+    print!("{}", output::render_histogram(&histogram));
+    if let Some(path) = args.value("json") {
+        output::write_json(std::path::Path::new(path), &histogram).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

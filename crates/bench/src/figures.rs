@@ -1,0 +1,675 @@
+//! One function per figure of the paper's evaluation (plus ablations).
+//!
+//! Every function takes [`ExperimentParams`] and returns plain data
+//! structures; the binaries in `src/bin/` only parse arguments, call one of
+//! these functions and print the result with [`crate::output`].
+
+use std::collections::BTreeMap;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use hybridcast_core::experiment::{random_origins, run_disseminations, AggregateStats};
+use hybridcast_core::overlay::{SnapshotOverlay, StaticOverlay};
+use hybridcast_core::protocols::{GossipTargetSelector, RandCast, RingCast};
+use hybridcast_graph::{builders, harary, NodeId};
+use hybridcast_sim::{Network, SimConfig};
+
+use crate::scenario::{
+    catastrophic_overlay, churn_overlay_with_cycles, static_overlay, ExperimentParams,
+};
+
+/// The two protocols every figure compares side by side.
+fn protocols(fanout: usize) -> Vec<Box<dyn GossipTargetSelector>> {
+    vec![
+        Box::new(RandCast::new(fanout)),
+        Box::new(RingCast::new(fanout)),
+    ]
+}
+
+/// A table of aggregate effectiveness results: one row per
+/// (protocol, fanout) pair, as plotted in Figures 6, 9 and 11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EffectivenessTable {
+    /// Scenario description (e.g. "static failure-free").
+    pub scenario: String,
+    /// One row per (protocol, fanout) combination.
+    pub rows: Vec<AggregateStats>,
+}
+
+impl EffectivenessTable {
+    /// The row for a given protocol and fanout, if present.
+    pub fn row(&self, protocol: &str, fanout: usize) -> Option<&AggregateStats> {
+        self.rows
+            .iter()
+            .find(|r| r.protocol == protocol && r.fanout == fanout)
+    }
+}
+
+/// The averaged per-hop progress of a set of disseminations, one series per
+/// (protocol, fanout), as plotted in Figures 7 and 10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressSeries {
+    /// Protocol name.
+    pub protocol: String,
+    /// Fanout.
+    pub fanout: usize,
+    /// Number of disseminations averaged.
+    pub runs: usize,
+    /// Mean fraction of nodes *not yet reached* after each hop
+    /// (index 0 = after hop 0, i.e. only the origin notified).
+    pub mean_not_reached: Vec<f64>,
+    /// Worst-case (maximum) fraction not reached after each hop.
+    pub max_not_reached: Vec<f64>,
+}
+
+/// A lifetime histogram (Figure 12) or miss-lifetime histogram (Figure 13).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifetimeHistogram {
+    /// Description of what is being counted.
+    pub label: String,
+    /// `lifetime in cycles -> number of nodes`.
+    pub counts: BTreeMap<u64, usize>,
+}
+
+impl LifetimeHistogram {
+    /// Total number of nodes counted.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+/// Runs the effectiveness sweep (miss ratio, completeness, message counts)
+/// over an already built overlay.
+pub fn effectiveness_over(
+    overlay: &SnapshotOverlay,
+    scenario: &str,
+    params: &ExperimentParams,
+) -> EffectivenessTable {
+    let mut rng = params.dissemination_rng();
+    let mut rows = Vec::new();
+    for &fanout in &params.fanouts {
+        for protocol in protocols(fanout) {
+            let origins = random_origins(overlay, params.runs, &mut rng);
+            let reports = run_disseminations(overlay, protocol.as_ref(), &origins, &mut rng);
+            rows.push(AggregateStats::from_reports(
+                protocol.name(),
+                fanout,
+                &reports,
+            ));
+        }
+    }
+    EffectivenessTable {
+        scenario: scenario.to_owned(),
+        rows,
+    }
+}
+
+/// **Figure 6 (and the data of Figure 8)**: dissemination effectiveness as a
+/// function of the fanout in a static failure-free network.
+pub fn static_effectiveness(params: &ExperimentParams) -> EffectivenessTable {
+    let overlay = static_overlay(params);
+    effectiveness_over(&overlay, "static failure-free", params)
+}
+
+/// Averages the per-hop "not reached yet" series of many disseminations,
+/// padding shorter runs with their final value.
+fn average_progress(
+    overlay: &SnapshotOverlay,
+    protocol: &dyn GossipTargetSelector,
+    fanout: usize,
+    params: &ExperimentParams,
+    rng: &mut ChaCha8Rng,
+) -> ProgressSeries {
+    let origins = random_origins(overlay, params.runs, rng);
+    let reports = run_disseminations(overlay, protocol, &origins, rng);
+    let series: Vec<Vec<f64>> = reports.iter().map(|r| r.not_reached_after_hop()).collect();
+    let max_len = series.iter().map(Vec::len).max().unwrap_or(0);
+    let mut mean = vec![0.0; max_len];
+    let mut max = vec![0.0f64; max_len];
+    for run in &series {
+        for hop in 0..max_len {
+            let value = run
+                .get(hop)
+                .copied()
+                .unwrap_or_else(|| *run.last().unwrap_or(&0.0));
+            mean[hop] += value;
+            if value > max[hop] {
+                max[hop] = value;
+            }
+        }
+    }
+    for value in &mut mean {
+        *value /= series.len() as f64;
+    }
+    ProgressSeries {
+        protocol: protocol.name().to_owned(),
+        fanout,
+        runs: reports.len(),
+        mean_not_reached: mean,
+        max_not_reached: max,
+    }
+}
+
+/// Per-hop progress over an already built overlay, for the given fanouts.
+pub fn progress_over(
+    overlay: &SnapshotOverlay,
+    params: &ExperimentParams,
+    fanouts: &[usize],
+) -> Vec<ProgressSeries> {
+    let mut rng = params.dissemination_rng();
+    let mut out = Vec::new();
+    for &fanout in fanouts {
+        for protocol in protocols(fanout) {
+            out.push(average_progress(
+                overlay,
+                protocol.as_ref(),
+                fanout,
+                params,
+                &mut rng,
+            ));
+        }
+    }
+    out
+}
+
+/// **Figure 7**: dissemination progress (fraction of nodes not yet reached
+/// per hop) in a static failure-free network, for the paper's four fanouts.
+pub fn static_progress(params: &ExperimentParams, fanouts: &[usize]) -> Vec<ProgressSeries> {
+    let overlay = static_overlay(params);
+    progress_over(&overlay, params, fanouts)
+}
+
+/// **Figure 9**: dissemination effectiveness after catastrophic failures of
+/// the given fractions of the network.
+pub fn catastrophic_effectiveness(
+    params: &ExperimentParams,
+    fail_fractions: &[f64],
+) -> Vec<(f64, EffectivenessTable)> {
+    fail_fractions
+        .iter()
+        .map(|&fraction| {
+            let overlay = catastrophic_overlay(params, fraction);
+            let scenario = format!("catastrophic failure of {:.0}%", fraction * 100.0);
+            (fraction, effectiveness_over(&overlay, &scenario, params))
+        })
+        .collect()
+}
+
+/// **Figure 10**: dissemination progress after a catastrophic failure of
+/// `fail_fraction` of the nodes.
+pub fn catastrophic_progress(
+    params: &ExperimentParams,
+    fail_fraction: f64,
+    fanouts: &[usize],
+) -> Vec<ProgressSeries> {
+    let overlay = catastrophic_overlay(params, fail_fraction);
+    progress_over(&overlay, params, fanouts)
+}
+
+/// **Figure 11**: dissemination effectiveness in churn steady state.
+/// Returns the table plus the number of churn cycles it took to reach
+/// steady state.
+pub fn churn_effectiveness(params: &ExperimentParams) -> (EffectivenessTable, usize) {
+    let (overlay, cycles) = churn_overlay_with_cycles(params);
+    let table = effectiveness_over(
+        &overlay,
+        &format!(
+            "churn steady state ({}% per cycle, {} cycles)",
+            params.churn_rate * 100.0,
+            cycles
+        ),
+        params,
+    );
+    (table, cycles)
+}
+
+/// **Figure 12**: the distribution of node lifetimes in churn steady state,
+/// aggregated over `repeats` independently seeded experiments.
+pub fn lifetime_distribution(params: &ExperimentParams, repeats: usize) -> LifetimeHistogram {
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for repeat in 0..repeats.max(1) {
+        let mut seeded = params.clone();
+        seeded.seed = params.seed.wrapping_add(repeat as u64);
+        let (overlay, _) = churn_overlay_with_cycles(&seeded);
+        let snapshot = overlay.snapshot();
+        for id in snapshot.live_nodes() {
+            if let Some(lifetime) = snapshot.lifetime(id) {
+                *counts.entry(lifetime).or_insert(0) += 1;
+            }
+        }
+    }
+    LifetimeHistogram {
+        label: "lifetimes of live nodes in churn steady state".to_owned(),
+        counts,
+    }
+}
+
+/// **Figure 13**: the lifetime distribution of the nodes that were *not*
+/// notified, per protocol, for the given fanouts.
+pub fn miss_lifetimes(
+    params: &ExperimentParams,
+    fanouts: &[usize],
+) -> Vec<(String, usize, LifetimeHistogram)> {
+    let (overlay, _) = churn_overlay_with_cycles(params);
+    let mut rng = params.dissemination_rng();
+    let mut out = Vec::new();
+    for &fanout in fanouts {
+        for protocol in protocols(fanout) {
+            let origins = random_origins(&overlay, params.runs, &mut rng);
+            let reports = run_disseminations(&overlay, protocol.as_ref(), &origins, &mut rng);
+            let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+            for report in &reports {
+                for &missed in &report.unreached {
+                    if let Some(lifetime) = overlay.snapshot().lifetime(missed) {
+                        *counts.entry(lifetime).or_insert(0) += 1;
+                    }
+                }
+            }
+            out.push((
+                protocol.name().to_owned(),
+                fanout,
+                LifetimeHistogram {
+                    label: format!(
+                        "lifetimes of non-notified nodes ({} fanout {fanout}, {} runs)",
+                        protocol.name(),
+                        params.runs
+                    ),
+                    counts,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Result row of the push/pull extension experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PushPullRow {
+    /// Protocol used for the push phase.
+    pub protocol: String,
+    /// Push fanout.
+    pub fanout: usize,
+    /// Scenario description.
+    pub scenario: String,
+    /// Mean miss ratio after the push phase alone.
+    pub push_miss_ratio: f64,
+    /// Mean miss ratio after the pull phase.
+    pub final_miss_ratio: f64,
+    /// Mean number of pull rounds executed.
+    pub mean_pull_rounds: f64,
+    /// Mean total messages including polls and transfers.
+    pub mean_total_messages: f64,
+}
+
+/// **Future-work extension (Section 8)**: push dissemination followed by
+/// pull-based anti-entropy. For each fanout and both protocols, reports the
+/// miss ratio before and after the pull phase together with its cost in
+/// rounds and messages, over a static overlay with a catastrophic failure of
+/// `fail_fraction` (use `0.0` for the failure-free case).
+pub fn push_pull_extension(
+    params: &ExperimentParams,
+    fail_fraction: f64,
+) -> Vec<PushPullRow> {
+    use hybridcast_core::pull::{disseminate_push_pull, PullConfig};
+
+    let overlay = if fail_fraction > 0.0 {
+        catastrophic_overlay(params, fail_fraction)
+    } else {
+        static_overlay(params)
+    };
+    let scenario = if fail_fraction > 0.0 {
+        format!("after {:.0}% catastrophic failure", fail_fraction * 100.0)
+    } else {
+        "static failure-free".to_owned()
+    };
+    let pull_config = PullConfig {
+        fanout: 1,
+        max_rounds: 50,
+    };
+
+    let mut rng = params.dissemination_rng();
+    let mut out = Vec::new();
+    for &fanout in &params.fanouts {
+        for protocol in protocols(fanout) {
+            let origins = random_origins(&overlay, params.runs, &mut rng);
+            let mut push_miss = 0.0;
+            let mut final_miss = 0.0;
+            let mut rounds = 0.0;
+            let mut messages = 0.0;
+            for &origin in &origins {
+                let report = disseminate_push_pull(
+                    &overlay,
+                    protocol.as_ref(),
+                    origin,
+                    pull_config,
+                    &mut rng,
+                );
+                push_miss += report.push.miss_ratio();
+                final_miss += report.miss_ratio();
+                rounds += report.pull_rounds as f64;
+                messages += report.total_messages() as f64;
+            }
+            let n = origins.len() as f64;
+            out.push(PushPullRow {
+                protocol: protocol.name().to_owned(),
+                fanout,
+                scenario: scenario.clone(),
+                push_miss_ratio: push_miss / n,
+                final_miss_ratio: final_miss / n,
+                mean_pull_rounds: rounds / n,
+                mean_total_messages: messages / n,
+            });
+        }
+    }
+    out
+}
+
+/// **Section 7.1 ablation**: freezing the overlay at different instants does
+/// not change macroscopic dissemination behaviour. Returns one table per
+/// extra-warm-up offset.
+pub fn frozen_overlay_ablation(
+    params: &ExperimentParams,
+    extra_cycles: &[usize],
+) -> Vec<(usize, EffectivenessTable)> {
+    let mut network = Network::new(params.sim_config(), params.seed);
+    network.run_cycles(params.warmup_cycles);
+    let mut out = Vec::new();
+    let mut elapsed = 0usize;
+    for &extra in extra_cycles {
+        network.run_cycles(extra.saturating_sub(elapsed));
+        elapsed = elapsed.max(extra);
+        let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let scenario = format!("frozen {} cycles after warm-up", extra);
+        out.push((extra, effectiveness_over(&overlay, &scenario, params)));
+    }
+    out
+}
+
+/// Result row of the asynchronous-latency ablation: macroscopic
+/// dissemination quantities for one forwarding-delay setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyAblationRow {
+    /// Forwarding delay as a fraction of the gossip period.
+    pub delay_over_period: f64,
+    /// Whether membership gossip kept running during the dissemination.
+    pub live_membership: bool,
+    /// Mean hit ratio over the runs.
+    pub mean_hit_ratio: f64,
+    /// Mean number of dissemination messages per run.
+    pub mean_messages: f64,
+    /// Mean simulated completion time (only over completed runs).
+    pub mean_completion_time: Option<f64>,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+/// **Section 7.1 ablation (asynchronous)**: the paper claims that varying
+/// the message forwarding time from zero to several gossip periods has no
+/// effect on the macroscopic dissemination behaviour. This experiment
+/// re-runs RingCast (at the smallest configured fanout) in the event-driven
+/// engine with membership gossip running live, sweeping the forwarding
+/// delay over the given multiples of the gossip period.
+pub fn latency_ablation(
+    params: &ExperimentParams,
+    delay_ratios: &[f64],
+) -> Vec<LatencyAblationRow> {
+    use hybridcast_core::async_engine::{disseminate_async, AsyncConfig};
+
+    let fanout = params.fanouts.first().copied().unwrap_or(3);
+    let mut out = Vec::new();
+    for &ratio in delay_ratios {
+        let mut hit_sum = 0.0;
+        let mut msg_sum = 0.0;
+        let mut completion_sum = 0.0;
+        let mut completed = 0usize;
+        for run in 0..params.runs {
+            // Each run gets its own warmed network (the event-driven engine
+            // mutates it), seeded deterministically.
+            let mut network = Network::new(params.sim_config(), params.seed);
+            network.run_cycles(params.warmup_cycles);
+            let origin = network.live_ids()[run % params.nodes];
+            let config = AsyncConfig {
+                gossip_period: 10.0,
+                forwarding_delay: 10.0 * ratio,
+                jitter: 0.1,
+                run_membership_gossip: true,
+                max_time: 1_000_000.0,
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                params.seed ^ (run as u64) ^ ((ratio * 1000.0) as u64),
+            );
+            let report =
+                disseminate_async(&mut network, &RingCast::new(fanout), origin, &config, &mut rng);
+            hit_sum += report.hit_ratio();
+            msg_sum += report.messages_sent as f64;
+            if let Some(t) = report.completion_time {
+                completion_sum += t;
+                completed += 1;
+            }
+        }
+        out.push(LatencyAblationRow {
+            delay_over_period: ratio,
+            live_membership: true,
+            mean_hit_ratio: hit_sum / params.runs as f64,
+            mean_messages: msg_sum / params.runs as f64,
+            mean_completion_time: if completed > 0 {
+                Some(completion_sum / completed as f64)
+            } else {
+                None
+            },
+            runs: params.runs,
+        });
+    }
+    out
+}
+
+/// **Section 8 ablation**: reliability of different d-link structures under
+/// catastrophic failure — a single ring, multiple independent rings and a
+/// static Harary graph of connectivity 4.
+///
+/// Every configuration is evaluated with RingCast after killing
+/// `fail_fraction` of the nodes. To keep the comparison fair, every arm is
+/// given the same *random-link budget*: the configured base fanout
+/// (smallest entry of `params.fanouts`) is the fanout of the single-ring
+/// arm, and arms with more deterministic links get their fanout increased
+/// by the extra d-degree, so each arm forwards over `base - 2` random links
+/// plus all of its deterministic links. The extra messages the denser
+/// d-link structures send are exactly the "increased gossip traffic" the
+/// paper predicts for the multi-ring extension.
+pub fn connectivity_ablation(
+    params: &ExperimentParams,
+    fail_fraction: f64,
+) -> Vec<(String, AggregateStats)> {
+    let base_fanout = params.fanouts.first().copied().unwrap_or(2).max(2);
+    let mut out = Vec::new();
+    let mut rng = params.dissemination_rng();
+
+    // Vicinity-maintained rings: 1, 2 and 3 independent rings (d-degree 2k).
+    for rings in [1usize, 2, 3] {
+        let config = SimConfig {
+            nodes: params.nodes,
+            rings,
+            ..SimConfig::default()
+        };
+        let mut network = Network::new(config, params.seed);
+        network.run_cycles(params.warmup_cycles);
+        let mut overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let mut fail_rng = ChaCha8Rng::seed_from_u64(params.seed.wrapping_add(0xFA11));
+        hybridcast_sim::failure::kill_fraction_in_snapshot(
+            overlay.snapshot_mut(),
+            fail_fraction,
+            &mut fail_rng,
+        );
+        let fanout = base_fanout + 2 * (rings - 1);
+        let protocol = RingCast::new(fanout);
+        let origins = random_origins(&overlay, params.runs, &mut rng);
+        let reports = run_disseminations(&overlay, &protocol, &origins, &mut rng);
+        out.push((
+            format!("{rings}-ring RingCast"),
+            AggregateStats::from_reports(&format!("RingCast x{rings}"), fanout, &reports),
+        ));
+    }
+
+    // A statically built Harary graph H(n, 4) as the d-link set (d-degree 4),
+    // with the same random r-link density as Cyclon would provide.
+    let nodes: Vec<NodeId> = (0..params.nodes as u64).map(NodeId::new).collect();
+    let h = harary::harary_graph(&nodes, 4);
+    let mut overlay_rng = ChaCha8Rng::seed_from_u64(params.seed.wrapping_add(0xAB1E));
+    let random = builders::random_out_degree(&nodes, 20, &mut overlay_rng);
+    let mut overlay = StaticOverlay::from_graphs(&h, &random);
+    let victims = hybridcast_sim::failure::select_victims(
+        &nodes,
+        fail_fraction,
+        &mut ChaCha8Rng::seed_from_u64(params.seed.wrapping_add(0xFA11)),
+    );
+    for victim in victims {
+        overlay.kill_node(victim);
+    }
+    let fanout = base_fanout + 2;
+    let protocol = RingCast::new(fanout);
+    let origins = random_origins(&overlay, params.runs, &mut rng);
+    let reports = run_disseminations(&overlay, &protocol, &origins, &mut rng);
+    out.push((
+        "static Harary(4) hybrid".to_owned(),
+        AggregateStats::from_reports("RingCast/H4", fanout, &reports),
+    ));
+
+    out
+}
+
+/// **Section 6 ablation**: sensitivity to the membership view length
+/// (`cyc = vic`), evaluated at a fixed small fanout.
+pub fn view_length_ablation(
+    params: &ExperimentParams,
+    view_lengths: &[usize],
+    fanout: usize,
+) -> Vec<(usize, EffectivenessTable)> {
+    let mut out = Vec::new();
+    for &view in view_lengths {
+        let config = SimConfig {
+            nodes: params.nodes,
+            cyclon_view: view,
+            vicinity_view: view,
+            ..SimConfig::default()
+        };
+        let mut network = Network::new(config, params.seed);
+        network.run_cycles(params.warmup_cycles);
+        let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let single = ExperimentParams {
+            fanouts: vec![fanout],
+            ..params.clone()
+        };
+        out.push((
+            view,
+            effectiveness_over(&overlay, &format!("view length {view}"), &single),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentParams {
+        ExperimentParams {
+            nodes: 200,
+            runs: 8,
+            warmup_cycles: 80,
+            fanouts: vec![2, 4],
+            seed: 5,
+            churn_rate: 0.02,
+            churn_max_cycles: 500,
+        }
+    }
+
+    #[test]
+    fn static_effectiveness_shows_the_papers_headline_result() {
+        let table = static_effectiveness(&tiny());
+        assert_eq!(table.rows.len(), 4, "2 fanouts x 2 protocols");
+        for fanout in [2, 4] {
+            let ring = table.row("RingCast", fanout).unwrap();
+            assert_eq!(ring.mean_miss_ratio, 0.0, "RingCast always complete");
+            assert_eq!(ring.complete_fraction, 1.0);
+        }
+        let rand2 = table.row("RandCast", 2).unwrap();
+        let rand4 = table.row("RandCast", 4).unwrap();
+        assert!(rand2.mean_miss_ratio >= rand4.mean_miss_ratio);
+        assert!(rand2.mean_miss_ratio > 0.0, "fanout 2 misses nodes");
+    }
+
+    #[test]
+    fn progress_series_are_monotone_and_end_low() {
+        let series = static_progress(&tiny(), &[3]);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.runs, 8);
+            assert!((s.mean_not_reached[0] - (1.0 - 1.0 / 200.0)).abs() < 1e-9);
+            for window in s.mean_not_reached.windows(2) {
+                assert!(window[1] <= window[0] + 1e-12, "progress is monotone");
+            }
+            if s.protocol == "RingCast" {
+                assert!(s.mean_not_reached.last().unwrap() < &1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn catastrophic_effectiveness_degrades_gracefully() {
+        let tables = catastrophic_effectiveness(&tiny(), &[0.05]);
+        assert_eq!(tables.len(), 1);
+        let (fraction, table) = &tables[0];
+        assert_eq!(*fraction, 0.05);
+        let ring = table.row("RingCast", 2).unwrap();
+        let rand = table.row("RandCast", 2).unwrap();
+        assert!(ring.mean_miss_ratio <= rand.mean_miss_ratio);
+        assert_eq!(ring.population, 190);
+    }
+
+    #[test]
+    fn churn_figures_produce_consistent_histograms() {
+        let params = tiny();
+        let histogram = lifetime_distribution(&params, 1);
+        assert_eq!(histogram.total(), params.nodes);
+
+        let tables = miss_lifetimes(&params, &[2]);
+        assert_eq!(tables.len(), 2);
+        for (_protocol, fanout, hist) in &tables {
+            assert_eq!(*fanout, 2);
+            // Any missed node must have a recorded lifetime >= 0; the
+            // histogram may legitimately be empty if nothing was missed.
+            for (&lifetime, &count) in &hist.counts {
+                assert!(count > 0);
+                assert!(lifetime <= params.churn_max_cycles as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn ablations_run_at_small_scale() {
+        let mut params = tiny();
+        params.fanouts = vec![2];
+        params.runs = 5;
+
+        let frozen = frozen_overlay_ablation(&params, &[0, 20]);
+        assert_eq!(frozen.len(), 2);
+        let miss_a = frozen[0].1.row("RingCast", 2).unwrap().mean_miss_ratio;
+        let miss_b = frozen[1].1.row("RingCast", 2).unwrap().mean_miss_ratio;
+        assert_eq!(miss_a, 0.0);
+        assert_eq!(miss_b, 0.0);
+
+        let connectivity = connectivity_ablation(&params, 0.05);
+        assert_eq!(connectivity.len(), 4);
+        for (_, stats) in &connectivity {
+            assert!(stats.mean_miss_ratio < 0.3);
+        }
+
+        let views = view_length_ablation(&params, &[5, 20], 2);
+        assert_eq!(views.len(), 2);
+        for (_, table) in &views {
+            assert_eq!(table.rows.len(), 2);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Experiment harness reproducing the evaluation of the Middleware 2007
+//! paper.
+//!
+//! Every figure of Section 7 has a dedicated binary in `src/bin/` that is a
+//! thin wrapper around a function in [`figures`]; the shared machinery lives
+//! here so the experiments are unit-testable:
+//!
+//! * [`cli`] — a dependency-free `--key value` argument parser,
+//! * [`scenario`] — builders for the three evaluation scenarios: static
+//!   failure-free overlays, overlays after a catastrophic failure, and
+//!   overlays in churn steady state,
+//! * [`figures`] — one function per figure, each returning serializable
+//!   result tables,
+//! * [`output`] — plain-text/CSV rendering of those tables, matching the
+//!   rows and series the paper plots.
+//!
+//! | figure | binary | function |
+//! |---|---|---|
+//! | Fig. 6 (a, b) | `fig06_static_effectiveness` | [`figures::static_effectiveness`] |
+//! | Fig. 7 | `fig07_static_progress` | [`figures::static_progress`] |
+//! | Fig. 8 | `fig08_message_overhead` | [`figures::static_effectiveness`] (message columns) |
+//! | Fig. 9 | `fig09_catastrophic_effectiveness` | [`figures::catastrophic_effectiveness`] |
+//! | Fig. 10 | `fig10_catastrophic_progress` | [`figures::catastrophic_progress`] |
+//! | Fig. 11 | `fig11_churn_effectiveness` | [`figures::churn_effectiveness`] |
+//! | Fig. 12 | `fig12_lifetime_distribution` | [`figures::lifetime_distribution`] |
+//! | Fig. 13 | `fig13_miss_lifetimes` | [`figures::miss_lifetimes`] |
+//! | §7.1 ablation | `ablation_frozen_overlay` | [`figures::frozen_overlay_ablation`] |
+//! | §8 ablation | `ablation_connectivity` | [`figures::connectivity_ablation`] |
+//! | §6 ablation | `ablation_view_length` | [`figures::view_length_ablation`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod figures;
+pub mod output;
+pub mod scenario;
+
+pub use cli::Args;
+pub use scenario::ExperimentParams;

@@ -1,0 +1,180 @@
+//! Plain-text rendering of experiment results.
+//!
+//! The figure binaries print the same rows/series the paper plots, in a
+//! format that is both human-readable and trivially machine-parsable
+//! (whitespace-aligned columns, `#`-prefixed headers). `--json <path>` on
+//! any binary additionally dumps the full result structure as JSON.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::figures::{EffectivenessTable, LifetimeHistogram, ProgressSeries};
+
+/// Renders an effectiveness table (Figures 6, 9, 11): one line per
+/// (protocol, fanout) with miss ratio, completeness and message counts.
+pub fn render_effectiveness(table: &EffectivenessTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# scenario: {}\n", table.scenario));
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>12} {:>10} {:>10} {:>12} {:>14} {:>12}\n",
+        "protocol",
+        "fanout",
+        "miss_ratio",
+        "complete",
+        "mean_hops",
+        "msgs_virgin",
+        "msgs_redundant",
+        "msgs_dead"
+    ));
+    for row in &table.rows {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>12.6} {:>9.1}% {:>10.2} {:>12.1} {:>14.1} {:>12.1}\n",
+            row.protocol,
+            row.fanout,
+            row.mean_miss_ratio,
+            row.complete_fraction * 100.0,
+            row.mean_last_hop,
+            row.mean_messages_to_virgin,
+            row.mean_messages_to_notified,
+            row.mean_messages_to_dead,
+        ));
+    }
+    out
+}
+
+/// Renders per-hop progress series (Figures 7, 10): one block per
+/// (protocol, fanout), one line per hop with the mean and worst-case
+/// fraction of nodes not yet reached.
+pub fn render_progress(series: &[ProgressSeries]) -> String {
+    let mut out = String::new();
+    for s in series {
+        out.push_str(&format!(
+            "# {} fanout {} ({} runs)\n",
+            s.protocol, s.fanout, s.runs
+        ));
+        out.push_str(&format!(
+            "{:<5} {:>18} {:>18}\n",
+            "hop", "mean_not_reached", "max_not_reached"
+        ));
+        for (hop, (mean, max)) in s
+            .mean_not_reached
+            .iter()
+            .zip(s.max_not_reached.iter())
+            .enumerate()
+        {
+            out.push_str(&format!("{:<5} {:>18.6} {:>18.6}\n", hop, mean, max));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a lifetime histogram (Figures 12, 13): one line per lifetime.
+pub fn render_histogram(histogram: &LifetimeHistogram) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", histogram.label));
+    out.push_str(&format!("{:<10} {:>10}\n", "lifetime", "count"));
+    for (lifetime, count) in &histogram.counts {
+        out.push_str(&format!("{:<10} {:>10}\n", lifetime, count));
+    }
+    out.push_str(&format!("# total: {}\n", histogram.total()));
+    out
+}
+
+/// Serializes any result structure to pretty JSON at `path`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written or the value cannot be
+/// serialized.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(json.as_bytes())?;
+    file.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::EffectivenessTable;
+    use hybridcast_core::experiment::AggregateStats;
+    use std::collections::BTreeMap;
+
+    fn sample_stats(protocol: &str, fanout: usize, miss: f64) -> AggregateStats {
+        AggregateStats {
+            protocol: protocol.to_owned(),
+            fanout,
+            runs: 10,
+            population: 100,
+            mean_miss_ratio: miss,
+            complete_fraction: if miss == 0.0 { 1.0 } else { 0.3 },
+            mean_last_hop: 7.5,
+            max_last_hop: 9,
+            mean_messages_to_virgin: 99.0,
+            mean_messages_to_notified: 150.0,
+            mean_messages_to_dead: 1.0,
+            mean_total_messages: 250.0,
+        }
+    }
+
+    #[test]
+    fn effectiveness_rendering_contains_all_rows() {
+        let table = EffectivenessTable {
+            scenario: "test".into(),
+            rows: vec![
+                sample_stats("RandCast", 3, 0.05),
+                sample_stats("RingCast", 3, 0.0),
+            ],
+        };
+        let text = render_effectiveness(&table);
+        assert!(text.contains("# scenario: test"));
+        assert!(text.contains("RandCast"));
+        assert!(text.contains("RingCast"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn progress_rendering_lists_every_hop() {
+        let series = vec![ProgressSeries {
+            protocol: "RingCast".into(),
+            fanout: 2,
+            runs: 5,
+            mean_not_reached: vec![0.99, 0.5, 0.0],
+            max_not_reached: vec![0.99, 0.6, 0.0],
+        }];
+        let text = render_progress(&series);
+        assert!(text.contains("# RingCast fanout 2 (5 runs)"));
+        assert_eq!(text.lines().filter(|l| l.starts_with(char::is_numeric)).count(), 3);
+    }
+
+    #[test]
+    fn histogram_rendering_and_total() {
+        let histogram = LifetimeHistogram {
+            label: "misses".into(),
+            counts: BTreeMap::from([(1, 5), (20, 2)]),
+        };
+        let text = render_histogram(&histogram);
+        assert!(text.contains("# misses"));
+        assert!(text.contains("# total: 7"));
+    }
+
+    #[test]
+    fn json_dump_round_trips() {
+        let dir = std::env::temp_dir().join("hybridcast-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let table = EffectivenessTable {
+            scenario: "json".into(),
+            rows: vec![sample_stats("RingCast", 1, 0.0)],
+        };
+        write_json(&path, &table).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: EffectivenessTable = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, table);
+        std::fs::remove_file(&path).ok();
+    }
+}

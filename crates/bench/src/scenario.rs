@@ -1,0 +1,216 @@
+//! Builders for the three evaluation scenarios of Section 7.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use hybridcast_core::overlay::SnapshotOverlay;
+use hybridcast_sim::churn::{ChurnConfig, ChurnDriver};
+use hybridcast_sim::failure::kill_fraction_in_snapshot;
+use hybridcast_sim::{Network, SimConfig};
+
+use crate::cli::Args;
+
+/// Common parameters of every experiment, derived from the command line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Network size (`N`).
+    pub nodes: usize,
+    /// Disseminations per configuration.
+    pub runs: usize,
+    /// Warm-up gossip cycles before freezing the overlay.
+    pub warmup_cycles: usize,
+    /// Fanouts to sweep.
+    pub fanouts: Vec<usize>,
+    /// Master seed; every derived quantity is deterministic given it.
+    pub seed: u64,
+    /// Churn rate (fraction of nodes replaced per cycle) for churn
+    /// experiments.
+    pub churn_rate: f64,
+    /// Upper bound on churn warm-up cycles (the paper runs until every
+    /// bootstrap node has been replaced, which the quick scale caps).
+    pub churn_max_cycles: usize,
+}
+
+impl ExperimentParams {
+    /// The paper's full experimental scale: 10,000 nodes, 100 runs per
+    /// configuration, fanouts 1–20.
+    pub fn paper() -> Self {
+        ExperimentParams {
+            nodes: 10_000,
+            runs: 100,
+            warmup_cycles: 100,
+            fanouts: (1..=20).collect(),
+            seed: 1,
+            churn_rate: 0.002,
+            churn_max_cycles: 20_000,
+        }
+    }
+
+    /// A reduced scale that keeps every qualitative trend of the paper but
+    /// runs in seconds: 2,000 nodes, 30 runs, fanouts 1–12.
+    pub fn quick() -> Self {
+        ExperimentParams {
+            nodes: 2_000,
+            runs: 30,
+            warmup_cycles: 100,
+            fanouts: (1..=12).collect(),
+            seed: 1,
+            churn_rate: 0.002,
+            churn_max_cycles: 3_000,
+        }
+    }
+
+    /// Builds parameters from command-line arguments: `--paper` selects the
+    /// full scale, and `--nodes`, `--runs`, `--warmup`, `--fanouts`,
+    /// `--seed`, `--churn-rate`, `--churn-max-cycles` override individual
+    /// fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any override fails to parse.
+    pub fn from_args(args: &Args) -> Result<Self, String> {
+        let base = if args.flag("paper") {
+            Self::paper()
+        } else {
+            Self::quick()
+        };
+        Ok(ExperimentParams {
+            nodes: args.get_or("nodes", base.nodes)?,
+            runs: args.get_or("runs", base.runs)?,
+            warmup_cycles: args.get_or("warmup", base.warmup_cycles)?,
+            fanouts: args.get_list_or("fanouts", base.fanouts)?,
+            seed: args.get_or("seed", base.seed)?,
+            churn_rate: args.get_or("churn-rate", base.churn_rate)?,
+            churn_max_cycles: args.get_or("churn-max-cycles", base.churn_max_cycles)?,
+        })
+    }
+
+    /// The simulator configuration corresponding to these parameters.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            nodes: self.nodes,
+            warmup_cycles: self.warmup_cycles,
+            ..SimConfig::default()
+        }
+    }
+
+    /// A deterministic RNG for dissemination-time randomness, derived from
+    /// the master seed.
+    pub fn dissemination_rng(&self) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17))
+    }
+}
+
+/// Scenario 1 (Section 7.1): a static failure-free overlay, warmed up for
+/// `warmup_cycles` and frozen.
+pub fn static_overlay(params: &ExperimentParams) -> SnapshotOverlay {
+    let mut network = Network::new(params.sim_config(), params.seed);
+    network.run_cycles(params.warmup_cycles);
+    SnapshotOverlay::new(network.overlay_snapshot())
+}
+
+/// Scenario 2 (Section 7.2): the static overlay of scenario 1 in which a
+/// random `fail_fraction` of the nodes is killed *after* freezing, so the
+/// overlay gets no chance to heal (the paper's worst case).
+pub fn catastrophic_overlay(
+    params: &ExperimentParams,
+    fail_fraction: f64,
+) -> SnapshotOverlay {
+    let mut overlay = static_overlay(params);
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed.wrapping_add(0xFA11));
+    kill_fraction_in_snapshot(overlay.snapshot_mut(), fail_fraction, &mut rng);
+    overlay
+}
+
+/// Scenario 3 (Section 7.3): gossip under continuous artificial churn until
+/// every bootstrap node has been replaced at least once (capped at
+/// `churn_max_cycles`), then freeze. Returns the frozen overlay; node
+/// lifetimes are available through the snapshot.
+pub fn churn_overlay(params: &ExperimentParams) -> SnapshotOverlay {
+    let (overlay, _cycles) = churn_overlay_with_cycles(params);
+    overlay
+}
+
+/// Like [`churn_overlay`] but also reports how many churn cycles were run.
+pub fn churn_overlay_with_cycles(params: &ExperimentParams) -> (SnapshotOverlay, usize) {
+    let mut network = Network::new(params.sim_config(), params.seed);
+    let mut driver = ChurnDriver::new(ChurnConfig {
+        rate: params.churn_rate,
+    });
+    let cycles = driver.run_until_all_replaced(&mut network, params.churn_max_cycles);
+    (SnapshotOverlay::new(network.overlay_snapshot()), cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcast_core::overlay::Overlay;
+
+    fn tiny() -> ExperimentParams {
+        ExperimentParams {
+            nodes: 150,
+            runs: 5,
+            warmup_cycles: 60,
+            fanouts: vec![2, 3],
+            seed: 3,
+            churn_rate: 0.02,
+            churn_max_cycles: 400,
+        }
+    }
+
+    #[test]
+    fn paper_and_quick_presets() {
+        assert_eq!(ExperimentParams::paper().nodes, 10_000);
+        assert_eq!(ExperimentParams::paper().fanouts.len(), 20);
+        assert!(ExperimentParams::quick().nodes < 5_000);
+    }
+
+    #[test]
+    fn from_args_applies_overrides() {
+        let args = Args::parse(["--nodes", "123", "--fanouts", "2,4", "--seed", "9"]).unwrap();
+        let params = ExperimentParams::from_args(&args).unwrap();
+        assert_eq!(params.nodes, 123);
+        assert_eq!(params.fanouts, vec![2, 4]);
+        assert_eq!(params.seed, 9);
+        assert_eq!(params.runs, ExperimentParams::quick().runs);
+
+        let paper = Args::parse(["--paper"]).unwrap();
+        assert_eq!(
+            ExperimentParams::from_args(&paper).unwrap().nodes,
+            10_000
+        );
+    }
+
+    #[test]
+    fn static_overlay_has_all_nodes_live() {
+        let overlay = static_overlay(&tiny());
+        assert_eq!(overlay.live_count(), 150);
+    }
+
+    #[test]
+    fn catastrophic_overlay_kills_the_requested_fraction() {
+        let overlay = catastrophic_overlay(&tiny(), 0.10);
+        assert_eq!(overlay.live_count(), 135);
+    }
+
+    #[test]
+    fn churn_overlay_replaces_every_bootstrap_node() {
+        let (overlay, cycles) = churn_overlay_with_cycles(&tiny());
+        assert_eq!(overlay.live_count(), 150);
+        assert!(cycles > 0);
+        // All bootstrap ids (0..150) have been replaced by later joiners.
+        let min_id = overlay.snapshot().live_nodes().next().unwrap();
+        assert!(min_id.as_u64() >= 150, "bootstrap nodes should be gone");
+    }
+
+    #[test]
+    fn same_seed_same_overlay() {
+        let a = static_overlay(&tiny());
+        let b = static_overlay(&tiny());
+        let ids_a: Vec<_> = a.live_node_ids();
+        for id in ids_a {
+            assert_eq!(a.r_links(id), b.r_links(id));
+        }
+    }
+}

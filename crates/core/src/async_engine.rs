@@ -1,0 +1,522 @@
+//! Event-driven (asynchronous) dissemination over a *live* network.
+//!
+//! The hop-synchronous engine ([`crate::engine`]) evaluates dissemination
+//! over a frozen overlay, which is how the paper runs its experiments. The
+//! paper justifies that simplification in Section 7.1: it varied the message
+//! forwarding time from zero to several times the gossip period and
+//! "recorded no effect whatsoever on the macroscopic behavior of
+//! disseminations". This module provides the machinery to *check* that
+//! claim rather than assume it: a discrete-event simulation in which
+//!
+//! * every node keeps running its Cyclon and Vicinity gossip on its own
+//!   (jittered) period, so the overlay keeps evolving mid-dissemination,
+//! * dissemination forwards take a configurable processing + network delay,
+//!   also jittered per message,
+//! * deliveries, gossip exchanges and overlay changes interleave in
+//!   timestamp order.
+//!
+//! The `ablation_async_latency` harness sweeps the forwarding delay from a
+//! small fraction of the gossip period to several periods and shows that
+//! hit ratio and message overhead stay put — only wall-clock completion
+//! time scales.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use hybridcast_graph::NodeId;
+use hybridcast_sim::Network;
+
+use crate::overlay::Overlay;
+use crate::protocols::GossipTargetSelector;
+
+/// Configuration of an event-driven dissemination run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsyncConfig {
+    /// Gossip period of the membership protocols (time units).
+    pub gossip_period: f64,
+    /// Mean processing + network delay of one dissemination forward.
+    pub forwarding_delay: f64,
+    /// Relative jitter applied to both periods and delays (0.1 = ±10 %).
+    pub jitter: f64,
+    /// Whether membership gossip keeps running during the dissemination
+    /// (`false` reproduces the frozen-overlay setting event-by-event).
+    pub run_membership_gossip: bool,
+    /// Hard cap on simulated time, as a safety net.
+    pub max_time: f64,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig {
+            gossip_period: 10.0,
+            forwarding_delay: 1.0,
+            jitter: 0.1,
+            run_membership_gossip: true,
+            max_time: 10_000.0,
+        }
+    }
+}
+
+impl AsyncConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any duration is non-positive (except the
+    /// forwarding delay, which may be zero) or the jitter is not in
+    /// `[0, 1)`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.gossip_period <= 0.0 {
+            return Err("gossip period must be positive".into());
+        }
+        if self.forwarding_delay < 0.0 {
+            return Err("forwarding delay cannot be negative".into());
+        }
+        if !(0.0..1.0).contains(&self.jitter) {
+            return Err("jitter must be within [0, 1)".into());
+        }
+        if self.max_time <= 0.0 {
+            return Err("max time must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Result of an event-driven dissemination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsyncReport {
+    /// Live nodes at the start of the dissemination.
+    pub population: usize,
+    /// Nodes that received the message.
+    pub reached: usize,
+    /// Total dissemination messages sent.
+    pub messages_sent: usize,
+    /// Messages that arrived at nodes which had already seen the message.
+    pub messages_redundant: usize,
+    /// Messages sent to nodes that were dead at delivery time.
+    pub messages_to_dead: usize,
+    /// Simulated time at which the last node was notified, if the
+    /// dissemination completed.
+    pub completion_time: Option<f64>,
+    /// Per-node notification time.
+    pub notification_times: BTreeMap<NodeId, f64>,
+}
+
+impl AsyncReport {
+    /// Hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.population == 0 {
+            return 1.0;
+        }
+        self.reached as f64 / self.population as f64
+    }
+
+    /// Miss ratio.
+    pub fn miss_ratio(&self) -> f64 {
+        1.0 - self.hit_ratio()
+    }
+
+    /// `true` if every live node was notified.
+    pub fn is_complete(&self) -> bool {
+        self.reached == self.population
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    /// A node's periodic membership gossip fires.
+    GossipTick { node: NodeId },
+    /// A dissemination message from `from` arrives at `to`.
+    Deliver { to: NodeId, from: NodeId },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct TimedEvent {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl Eq for TimedEvent {}
+
+impl Ord for TimedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the earliest
+        // event first. Ties break on sequence number for determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TimedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A one-node view over the live network state, assembled at delivery time
+/// from the node's *current* Cyclon view and ring neighbours.
+struct MomentaryView {
+    owner: NodeId,
+    r_links: Vec<NodeId>,
+    d_links: Vec<NodeId>,
+}
+
+impl Overlay for MomentaryView {
+    fn is_live(&self, _node: NodeId) -> bool {
+        true
+    }
+
+    fn live_node_ids(&self) -> Vec<NodeId> {
+        vec![self.owner]
+    }
+
+    fn r_links(&self, node: NodeId) -> Vec<NodeId> {
+        if node == self.owner {
+            self.r_links.clone()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn d_links(&self, node: NodeId) -> Vec<NodeId> {
+        if node == self.owner {
+            self.d_links.clone()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+fn momentary_view(network: &Network, node: NodeId) -> Option<MomentaryView> {
+    let sim_node = network.node(node)?;
+    let r_links = sim_node.cyclon().view().node_ids();
+    let mut d_links = Vec::new();
+    for vicinity in sim_node.vicinity() {
+        let (pred, succ) = vicinity.ring_neighbors();
+        for link in [pred, succ].into_iter().flatten() {
+            if !d_links.contains(&link) {
+                d_links.push(link);
+            }
+        }
+    }
+    Some(MomentaryView {
+        owner: node,
+        r_links,
+        d_links,
+    })
+}
+
+/// Runs one event-driven dissemination of a message originating at `origin`
+/// over the live `network`.
+///
+/// The network is mutated (its membership protocols keep gossiping while
+/// the message spreads) unless `config.run_membership_gossip` is `false`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `origin` is not a live node.
+pub fn disseminate_async(
+    network: &mut Network,
+    selector: &dyn GossipTargetSelector,
+    origin: NodeId,
+    config: &AsyncConfig,
+    rng: &mut ChaCha8Rng,
+) -> AsyncReport {
+    config.validate().expect("invalid async configuration");
+    assert!(
+        network.is_live(origin),
+        "dissemination origin {origin} is not a live node"
+    );
+
+    let population = network.len();
+    let mut queue: BinaryHeap<TimedEvent> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |queue: &mut BinaryHeap<TimedEvent>, seq: &mut u64, time: f64, event: Event| {
+        *seq += 1;
+        queue.push(TimedEvent {
+            time,
+            seq: *seq,
+            event,
+        });
+    };
+    let jittered = |base: f64, rng: &mut ChaCha8Rng, jitter: f64| -> f64 {
+        if jitter == 0.0 || base == 0.0 {
+            base
+        } else {
+            base * (1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0))
+        }
+    };
+
+    // Desynchronised gossip timers, as in the paper ("nodes have
+    // independent, non-synchronized timers").
+    if config.run_membership_gossip {
+        for node in network.live_ids() {
+            let offset = rng.gen::<f64>() * config.gossip_period;
+            push(&mut queue, &mut seq, offset, Event::GossipTick { node });
+        }
+    }
+    // The origin "receives" the message from itself at time zero.
+    push(
+        &mut queue,
+        &mut seq,
+        0.0,
+        Event::Deliver {
+            to: origin,
+            from: origin,
+        },
+    );
+
+    let mut notified: BTreeSet<NodeId> = BTreeSet::new();
+    let mut notification_times: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut messages_sent = 0usize;
+    let mut messages_redundant = 0usize;
+    let mut messages_to_dead = 0usize;
+    let mut pending_deliveries = 1usize;
+    let mut completion_time = None;
+
+    while let Some(TimedEvent { time, event, .. }) = queue.pop() {
+        if time > config.max_time {
+            break;
+        }
+        match event {
+            Event::GossipTick { node } => {
+                if pending_deliveries == 0 {
+                    // The dissemination is over; no need to keep the
+                    // membership machinery spinning.
+                    continue;
+                }
+                if network.is_live(node) {
+                    network.gossip_once(node);
+                    let next = time + jittered(config.gossip_period, rng, config.jitter);
+                    push(&mut queue, &mut seq, next, Event::GossipTick { node });
+                }
+            }
+            Event::Deliver { to, from } => {
+                pending_deliveries -= 1;
+                if !network.is_live(to) {
+                    messages_to_dead += 1;
+                    continue;
+                }
+                if !notified.insert(to) {
+                    messages_redundant += 1;
+                    continue;
+                }
+                notification_times.insert(to, time);
+                if notified.len() == population {
+                    completion_time = Some(time);
+                }
+                let Some(view) = momentary_view(network, to) else {
+                    continue;
+                };
+                let sender = if from == to { None } else { Some(from) };
+                let targets = selector.select_targets(&view, to, sender, rng);
+                for target in targets {
+                    messages_sent += 1;
+                    pending_deliveries += 1;
+                    let delay = jittered(config.forwarding_delay, rng, config.jitter);
+                    push(
+                        &mut queue,
+                        &mut seq,
+                        time + delay,
+                        Event::Deliver { to: target, from: to },
+                    );
+                }
+            }
+        }
+    }
+
+    AsyncReport {
+        population,
+        reached: notified.len(),
+        messages_sent,
+        messages_redundant,
+        messages_to_dead,
+        completion_time,
+        notification_times,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{RandCast, RingCast};
+    use hybridcast_sim::SimConfig;
+    use rand::SeedableRng;
+
+    fn warmed_network(nodes: usize, seed: u64) -> Network {
+        let mut network = Network::new(
+            SimConfig {
+                nodes,
+                ..SimConfig::default()
+            },
+            seed,
+        );
+        network.run_cycles(120);
+        network
+    }
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(AsyncConfig::default().validate().is_ok());
+        assert!(AsyncConfig {
+            gossip_period: 0.0,
+            ..AsyncConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AsyncConfig {
+            jitter: 1.5,
+            ..AsyncConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AsyncConfig {
+            forwarding_delay: -1.0,
+            ..AsyncConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AsyncConfig {
+            max_time: 0.0,
+            ..AsyncConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live node")]
+    fn dead_origin_panics() {
+        let mut network = warmed_network(50, 1);
+        let victim = NodeId::new(3);
+        network.kill_node(victim);
+        disseminate_async(
+            &mut network,
+            &RingCast::new(2),
+            victim,
+            &AsyncConfig::default(),
+            &mut rng(1),
+        );
+    }
+
+    #[test]
+    fn ringcast_completes_asynchronously_with_live_gossip() {
+        let mut network = warmed_network(250, 2);
+        let origin = network.live_ids()[7];
+        let report = disseminate_async(
+            &mut network,
+            &RingCast::new(3),
+            origin,
+            &AsyncConfig::default(),
+            &mut rng(3),
+        );
+        assert!(report.is_complete(), "missed {}", report.population - report.reached);
+        assert!(report.completion_time.is_some());
+        assert_eq!(report.notification_times.len(), report.reached);
+        assert_eq!(report.notification_times[&origin], 0.0);
+    }
+
+    #[test]
+    fn forwarding_delay_changes_latency_but_not_coverage() {
+        // The Section 7.1 claim: macroscopic behaviour (hit ratio, message
+        // overhead) is insensitive to the forwarding delay; only the
+        // wall-clock completion time scales with it.
+        let mut coverages = Vec::new();
+        let mut times = Vec::new();
+        for (idx, delay) in [0.5f64, 5.0, 20.0].into_iter().enumerate() {
+            let mut network = warmed_network(250, 4);
+            let origin = network.live_ids()[11];
+            let config = AsyncConfig {
+                forwarding_delay: delay,
+                ..AsyncConfig::default()
+            };
+            let report = disseminate_async(
+                &mut network,
+                &RingCast::new(3),
+                origin,
+                &config,
+                &mut rng(100 + idx as u64),
+            );
+            coverages.push(report.reached);
+            times.push(report.completion_time.expect("completes"));
+        }
+        assert!(coverages.iter().all(|&c| c == coverages[0]), "{coverages:?}");
+        assert!(
+            times[2] > times[0] * 5.0,
+            "a 40x larger delay must slow completion substantially: {times:?}"
+        );
+    }
+
+    #[test]
+    fn randcast_async_misses_roughly_like_the_synchronous_model() {
+        let mut network = warmed_network(300, 5);
+        let origin = network.live_ids()[3];
+        let report = disseminate_async(
+            &mut network,
+            &RandCast::new(2),
+            origin,
+            &AsyncConfig::default(),
+            &mut rng(6),
+        );
+        assert!(report.miss_ratio() > 0.0, "fanout 2 should miss someone");
+        assert!(report.miss_ratio() < 0.5, "but reach most of the network");
+        assert_eq!(
+            report.messages_sent,
+            report.reached * 2,
+            "every notified node forwards F = 2 messages"
+        );
+    }
+
+    #[test]
+    fn frozen_and_live_membership_agree_macroscopically() {
+        let build_report = |run_gossip: bool, seed: u64| {
+            let mut network = warmed_network(250, 7);
+            let origin = network.live_ids()[0];
+            let config = AsyncConfig {
+                run_membership_gossip: run_gossip,
+                ..AsyncConfig::default()
+            };
+            disseminate_async(
+                &mut network,
+                &RingCast::new(3),
+                origin,
+                &config,
+                &mut rng(seed),
+            )
+        };
+        let frozen = build_report(false, 8);
+        let live = build_report(true, 9);
+        assert_eq!(frozen.reached, live.reached);
+        // Message overhead is F * reached in both cases (ring links may add
+        // a couple of extra messages at most).
+        let bound = |r: &AsyncReport| (r.messages_sent as f64) / (r.reached as f64);
+        assert!((bound(&frozen) - bound(&live)).abs() < 0.2);
+    }
+
+    #[test]
+    fn event_ordering_is_deterministic_for_a_fixed_seed() {
+        let run = || {
+            let mut network = warmed_network(150, 10);
+            let origin = network.live_ids()[5];
+            disseminate_async(
+                &mut network,
+                &RingCast::new(2),
+                origin,
+                &AsyncConfig::default(),
+                &mut rng(11),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

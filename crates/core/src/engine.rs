@@ -1,0 +1,322 @@
+//! The hop-synchronous dissemination engine (the model of Section 7).
+//!
+//! The paper evaluates disseminations in discrete rounds called *hops*: the
+//! generation of a message is hop 0; at hop 1 it reaches the origin's gossip
+//! targets; at hop `k + 1` it reaches the targets of every node first
+//! notified at hop `k`. The engine reproduces that model exactly over a
+//! frozen [`Overlay`]: the paper verifies (Section 7.1) that freezing the
+//! membership gossip does not change the macroscopic behaviour, so a frozen
+//! overlay plus a hop-synchronous sweep is a faithful stand-in for the
+//! asynchronous real-time process.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::RngCore;
+
+use hybridcast_graph::NodeId;
+
+use crate::metrics::DisseminationReport;
+use crate::overlay::Overlay;
+use crate::protocols::GossipTargetSelector;
+
+/// Runs one complete dissemination of a message originating at `origin`
+/// over the given overlay, using `selector` to pick gossip targets, and
+/// returns the full accounting.
+///
+/// Dead targets absorb messages without forwarding them (the message is
+/// counted in [`DisseminationReport::messages_to_dead`]); live targets that
+/// have already seen the message ignore it (counted in
+/// [`DisseminationReport::messages_to_notified`]).
+///
+/// # Panics
+///
+/// Panics if `origin` is not a live node of the overlay.
+///
+/// # Example
+///
+/// ```
+/// use hybridcast_core::engine::disseminate;
+/// use hybridcast_core::overlay::StaticOverlay;
+/// use hybridcast_core::protocols::DeterministicFlooding;
+/// use hybridcast_graph::{builders, NodeId};
+/// use rand::SeedableRng;
+///
+/// let ids: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+/// let overlay = StaticOverlay::deterministic(&builders::bidirectional_ring(&ids));
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let report = disseminate(&overlay, &DeterministicFlooding::new(), ids[0], &mut rng);
+/// assert!(report.is_complete());
+/// assert_eq!(report.last_hop, 4, "half-way around an 8-node ring");
+/// ```
+pub fn disseminate(
+    overlay: &dyn Overlay,
+    selector: &dyn GossipTargetSelector,
+    origin: NodeId,
+    rng: &mut dyn RngCore,
+) -> DisseminationReport {
+    assert!(
+        overlay.is_live(origin),
+        "dissemination origin {origin} is not a live node"
+    );
+
+    let population = overlay.live_count();
+    let mut notified: BTreeSet<NodeId> = BTreeSet::new();
+    notified.insert(origin);
+
+    let mut received_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut forwarded_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut per_hop_new = vec![1usize];
+    let mut per_hop_messages = vec![0usize];
+    let mut messages_to_virgin = 0usize;
+    let mut messages_to_notified = 0usize;
+    let mut messages_to_dead = 0usize;
+    let mut last_hop = 0usize;
+
+    // Frontier of (node, sender) pairs notified in the previous hop.
+    let mut frontier: Vec<(NodeId, Option<NodeId>)> = vec![(origin, None)];
+    let mut hop = 0usize;
+
+    while !frontier.is_empty() {
+        hop += 1;
+        let mut next_frontier: Vec<(NodeId, Option<NodeId>)> = Vec::new();
+        let mut hop_messages = 0usize;
+        let mut hop_new = 0usize;
+
+        for (node, from) in frontier {
+            let targets = selector.select_targets(overlay, node, from, rng);
+            *forwarded_counts.entry(node).or_insert(0) += targets.len();
+            hop_messages += targets.len();
+            for target in targets {
+                if !overlay.is_live(target) {
+                    messages_to_dead += 1;
+                    continue;
+                }
+                *received_counts.entry(target).or_insert(0) += 1;
+                if notified.insert(target) {
+                    messages_to_virgin += 1;
+                    hop_new += 1;
+                    next_frontier.push((target, Some(node)));
+                } else {
+                    messages_to_notified += 1;
+                }
+            }
+        }
+
+        per_hop_messages.push(hop_messages);
+        per_hop_new.push(hop_new);
+        if hop_new > 0 {
+            last_hop = hop;
+        }
+        frontier = next_frontier;
+    }
+
+    let unreached: Vec<NodeId> = overlay
+        .live_node_ids()
+        .into_iter()
+        .filter(|id| !notified.contains(id))
+        .collect();
+
+    // Trim trailing hops that notified nobody (the final sweep of redundant
+    // messages), keeping the vectors aligned: entry h describes hop h.
+    per_hop_new.truncate(last_hop + 1);
+    per_hop_messages.truncate(last_hop + 1);
+
+    DisseminationReport {
+        origin,
+        population,
+        reached: notified.len(),
+        last_hop,
+        per_hop_new,
+        per_hop_messages,
+        messages_to_virgin,
+        messages_to_notified,
+        messages_to_dead,
+        received_counts,
+        forwarded_counts,
+        unreached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::{SnapshotOverlay, StaticOverlay};
+    use crate::protocols::{DeterministicFlooding, Flooding, RandCast, RingCast};
+    use hybridcast_graph::builders;
+    use hybridcast_sim::{Network, SimConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ids(count: u64) -> Vec<NodeId> {
+        (0..count).map(NodeId::new).collect()
+    }
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn warmed_overlay(nodes: usize, seed: u64) -> SnapshotOverlay {
+        let mut net = Network::new(
+            SimConfig {
+                nodes,
+                ..SimConfig::default()
+            },
+            seed,
+        );
+        net.run_cycles(120);
+        SnapshotOverlay::new(net.overlay_snapshot())
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live node")]
+    fn dead_origin_panics() {
+        let overlay = StaticOverlay::new();
+        disseminate(&overlay, &Flooding::new(), n(0), &mut rng(0));
+    }
+
+    #[test]
+    fn flooding_a_ring_reaches_everyone_in_n_over_2_hops() {
+        let overlay = StaticOverlay::deterministic(&builders::bidirectional_ring(&ids(10)));
+        let report = disseminate(&overlay, &DeterministicFlooding::new(), n(0), &mut rng(1));
+        assert!(report.is_complete());
+        assert_eq!(report.last_hop, 5);
+        assert_eq!(report.reached, 10);
+        // The ring sends exactly 2 messages per hop except the final
+        // collision hop, for 2 * N/2 messages reaching 9 virgin nodes.
+        assert_eq!(report.messages_to_virgin, 9);
+        assert_eq!(report.per_hop_new[1], 2);
+    }
+
+    #[test]
+    fn flooding_a_clique_takes_one_hop_with_quadratic_overhead() {
+        let overlay = StaticOverlay::deterministic(&builders::clique(&ids(12)));
+        let report = disseminate(&overlay, &DeterministicFlooding::new(), n(3), &mut rng(2));
+        assert!(report.is_complete());
+        assert_eq!(report.last_hop, 1);
+        assert_eq!(report.messages_to_virgin, 11);
+        // Every other node forwards to everyone again: 11 * 10 redundant.
+        assert_eq!(report.messages_to_notified, 11 * 10);
+    }
+
+    #[test]
+    fn flooding_a_star_reaches_leaves_in_two_hops() {
+        let leaves = ids(20)[1..].to_vec();
+        let overlay = StaticOverlay::deterministic(&builders::star(n(0), &leaves));
+        // From a leaf: hop 1 reaches the hub, hop 2 all other leaves.
+        let report = disseminate(&overlay, &DeterministicFlooding::new(), n(5), &mut rng(3));
+        assert!(report.is_complete());
+        assert_eq!(report.last_hop, 2);
+    }
+
+    #[test]
+    fn disconnected_overlay_is_not_fully_reached() {
+        let mut overlay = StaticOverlay::new();
+        overlay.add_d_link(n(0), n(1));
+        overlay.add_d_link(n(1), n(0));
+        overlay.add_node(n(2)); // isolated
+        let report = disseminate(&overlay, &DeterministicFlooding::new(), n(0), &mut rng(4));
+        assert_eq!(report.reached, 2);
+        assert_eq!(report.unreached, vec![n(2)]);
+        assert!((report.miss_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_nodes_absorb_messages() {
+        let ring = builders::bidirectional_ring(&ids(6));
+        let mut overlay = StaticOverlay::deterministic(&ring);
+        overlay.kill_node(n(3));
+        let report = disseminate(&overlay, &DeterministicFlooding::new(), n(0), &mut rng(5));
+        // The ring is cut at node 3 but the message flows around the other
+        // side; only node 3 is dead, all 5 live nodes are reached.
+        assert_eq!(report.population, 5);
+        assert!(report.is_complete());
+        assert!(report.messages_to_dead >= 1);
+    }
+
+    #[test]
+    fn ringcast_is_complete_on_warmed_overlay_even_at_fanout_one() {
+        let overlay = warmed_overlay(200, 6);
+        let origin = overlay.live_node_ids()[17];
+        let report = disseminate(&overlay, &RingCast::new(1), origin, &mut rng(7));
+        assert!(
+            report.is_complete(),
+            "RingCast must reach all {} nodes, reached {}",
+            report.population,
+            report.reached
+        );
+    }
+
+    #[test]
+    fn randcast_low_fanout_misses_nodes_ringcast_does_not() {
+        let overlay = warmed_overlay(300, 8);
+        let origin = overlay.live_node_ids()[0];
+        let mut rand_misses = 0usize;
+        for seed in 0..5 {
+            let report = disseminate(&overlay, &RandCast::new(2), origin, &mut rng(100 + seed));
+            rand_misses += report.population - report.reached;
+            let ring_report =
+                disseminate(&overlay, &RingCast::new(2), origin, &mut rng(200 + seed));
+            assert!(ring_report.is_complete());
+        }
+        assert!(
+            rand_misses > 0,
+            "RandCast with fanout 2 should miss at least one node over 5 runs"
+        );
+    }
+
+    #[test]
+    fn message_overhead_equals_fanout_times_hits_for_randcast() {
+        // Every notified node forwards exactly F messages (view >= F), so
+        // total messages = F * reached, the identity behind Figure 8.
+        let overlay = warmed_overlay(300, 9);
+        let origin = overlay.live_node_ids()[42];
+        let fanout = 4;
+        let report = disseminate(&overlay, &RandCast::new(fanout), origin, &mut rng(10));
+        assert_eq!(report.total_messages(), fanout * report.reached);
+    }
+
+    #[test]
+    fn per_hop_series_are_consistent() {
+        let overlay = warmed_overlay(200, 11);
+        let origin = overlay.live_node_ids()[3];
+        let report = disseminate(&overlay, &RingCast::new(3), origin, &mut rng(12));
+        assert_eq!(report.per_hop_new.len(), report.last_hop + 1);
+        assert_eq!(report.per_hop_messages.len(), report.last_hop + 1);
+        assert_eq!(report.per_hop_new.iter().sum::<usize>(), report.reached);
+        let cumulative = report.cumulative_reached();
+        assert_eq!(*cumulative.last().unwrap(), report.reached);
+        let not_reached = report.not_reached_after_hop();
+        assert!(not_reached.last().unwrap().abs() < 1e-12, "complete");
+    }
+
+    #[test]
+    fn received_counts_cover_every_non_origin_reached_node() {
+        let overlay = warmed_overlay(150, 13);
+        let origin = overlay.live_node_ids()[7];
+        let report = disseminate(&overlay, &RingCast::new(3), origin, &mut rng(14));
+        // Every reached node other than the origin received at least once.
+        assert_eq!(report.received_counts.len() + 1, report.reached);
+        // Total receive events match the virgin + notified message count.
+        let total_received: usize = report.received_counts.values().sum();
+        assert_eq!(
+            total_received,
+            report.messages_to_virgin + report.messages_to_notified
+        );
+    }
+
+    #[test]
+    fn load_is_roughly_uniform_across_nodes() {
+        let overlay = warmed_overlay(300, 15);
+        let origin = overlay.live_node_ids()[0];
+        let report = disseminate(&overlay, &RingCast::new(4), origin, &mut rng(16));
+        let summary = report.forwarding_load_summary();
+        // Every notified node forwards; the per-node forwarding load stays
+        // within a small constant of the fanout.
+        assert_eq!(summary.count, report.reached);
+        assert!(summary.max <= 6, "forwarding load {} exceeds 6", summary.max);
+    }
+}

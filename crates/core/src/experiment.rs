@@ -1,0 +1,236 @@
+//! Repetition and aggregation helpers for dissemination experiments.
+//!
+//! Every figure of the paper's evaluation averages over 100 disseminations
+//! started from random origins. This module provides the shared machinery:
+//! run a protocol `runs` times over a frozen overlay, collect the per-run
+//! [`DisseminationReport`]s, and reduce them to the aggregate quantities the
+//! figures plot (mean miss ratio, fraction of complete disseminations, mean
+//! hop count, virgin/redundant message counts).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hybridcast_graph::NodeId;
+
+use crate::engine::disseminate;
+use crate::metrics::DisseminationReport;
+use crate::overlay::Overlay;
+use crate::protocols::GossipTargetSelector;
+
+/// Aggregate statistics over a set of disseminations with identical
+/// configuration (same overlay, protocol and fanout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateStats {
+    /// Protocol name.
+    pub protocol: String,
+    /// Fanout the protocol was configured with.
+    pub fanout: usize,
+    /// Number of disseminations aggregated.
+    pub runs: usize,
+    /// Live population the disseminations ran over.
+    pub population: usize,
+    /// Mean miss ratio (Figures 6a, 9 left, 11 left).
+    pub mean_miss_ratio: f64,
+    /// Fraction of runs that reached every live node (Figures 6b, 9 right,
+    /// 11 right).
+    pub complete_fraction: f64,
+    /// Mean number of hops to reach the last newly notified node.
+    pub mean_last_hop: f64,
+    /// Largest hop count observed.
+    pub max_last_hop: usize,
+    /// Mean number of messages that notified a new node (Figure 8, shaded).
+    pub mean_messages_to_virgin: f64,
+    /// Mean number of messages that hit an already notified node
+    /// (Figure 8, striped).
+    pub mean_messages_to_notified: f64,
+    /// Mean number of messages sent to dead nodes.
+    pub mean_messages_to_dead: f64,
+    /// Mean total number of messages.
+    pub mean_total_messages: f64,
+}
+
+impl AggregateStats {
+    /// Reduces a set of reports (all produced with the same protocol and
+    /// fanout) to aggregate statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn from_reports(
+        protocol: &str,
+        fanout: usize,
+        reports: &[DisseminationReport],
+    ) -> Self {
+        assert!(!reports.is_empty(), "cannot aggregate zero reports");
+        let runs = reports.len();
+        let mean = |f: &dyn Fn(&DisseminationReport) -> f64| -> f64 {
+            reports.iter().map(f).sum::<f64>() / runs as f64
+        };
+        AggregateStats {
+            protocol: protocol.to_owned(),
+            fanout,
+            runs,
+            population: reports[0].population,
+            mean_miss_ratio: mean(&|r| r.miss_ratio()),
+            complete_fraction: reports.iter().filter(|r| r.is_complete()).count() as f64
+                / runs as f64,
+            mean_last_hop: mean(&|r| r.last_hop as f64),
+            max_last_hop: reports.iter().map(|r| r.last_hop).max().unwrap_or(0),
+            mean_messages_to_virgin: mean(&|r| r.messages_to_virgin as f64),
+            mean_messages_to_notified: mean(&|r| r.messages_to_notified as f64),
+            mean_messages_to_dead: mean(&|r| r.messages_to_dead as f64),
+            mean_total_messages: mean(&|r| r.total_messages() as f64),
+        }
+    }
+}
+
+/// Picks `count` dissemination origins uniformly at random (with
+/// replacement across runs, as the paper does) from the overlay's live
+/// nodes.
+///
+/// # Panics
+///
+/// Panics if the overlay has no live nodes.
+pub fn random_origins<R: Rng + ?Sized>(
+    overlay: &dyn Overlay,
+    count: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let live = overlay.live_node_ids();
+    assert!(!live.is_empty(), "overlay has no live nodes");
+    (0..count)
+        .map(|_| *live.choose(rng).expect("non-empty"))
+        .collect()
+}
+
+/// Runs `origins.len()` disseminations of `selector` over `overlay`, one per
+/// origin, and returns the individual reports.
+pub fn run_disseminations<R>(
+    overlay: &dyn Overlay,
+    selector: &dyn GossipTargetSelector,
+    origins: &[NodeId],
+    rng: &mut R,
+) -> Vec<DisseminationReport>
+where
+    R: Rng,
+{
+    origins
+        .iter()
+        .map(|&origin| disseminate(overlay, selector, origin, rng))
+        .collect()
+}
+
+/// Convenience wrapper: runs `runs` disseminations from random origins and
+/// aggregates them.
+pub fn run_experiment<R>(
+    overlay: &dyn Overlay,
+    selector: &dyn GossipTargetSelector,
+    runs: usize,
+    rng: &mut R,
+) -> AggregateStats
+where
+    R: Rng,
+{
+    let origins = random_origins(overlay, runs, rng);
+    let reports = run_disseminations(overlay, selector, &origins, rng);
+    AggregateStats::from_reports(selector.name(), selector.fanout(), &reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::{SnapshotOverlay, StaticOverlay};
+    use crate::protocols::{DeterministicFlooding, RandCast, RingCast};
+    use hybridcast_graph::builders;
+    use hybridcast_sim::{Network, SimConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ids(count: u64) -> Vec<NodeId> {
+        (0..count).map(NodeId::new).collect()
+    }
+
+    fn warmed_overlay(nodes: usize, seed: u64) -> SnapshotOverlay {
+        let mut net = Network::new(
+            SimConfig {
+                nodes,
+                ..SimConfig::default()
+            },
+            seed,
+        );
+        net.run_cycles(120);
+        SnapshotOverlay::new(net.overlay_snapshot())
+    }
+
+    #[test]
+    fn random_origins_are_live_nodes() {
+        let overlay = StaticOverlay::deterministic(&builders::bidirectional_ring(&ids(10)));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let origins = random_origins(&overlay, 25, &mut rng);
+        assert_eq!(origins.len(), 25);
+        assert!(origins.iter().all(|&o| overlay.is_live(o)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no live nodes")]
+    fn random_origins_panics_on_empty_overlay() {
+        let overlay = StaticOverlay::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        random_origins(&overlay, 1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reports")]
+    fn aggregate_of_nothing_panics() {
+        AggregateStats::from_reports("X", 1, &[]);
+    }
+
+    #[test]
+    fn aggregate_over_complete_disseminations() {
+        let overlay = StaticOverlay::deterministic(&builders::bidirectional_ring(&ids(20)));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let stats = run_experiment(&overlay, &DeterministicFlooding::new(), 10, &mut rng);
+        assert_eq!(stats.runs, 10);
+        assert_eq!(stats.population, 20);
+        assert_eq!(stats.mean_miss_ratio, 0.0);
+        assert_eq!(stats.complete_fraction, 1.0);
+        assert_eq!(stats.protocol, "DeterministicFlooding");
+        assert!(stats.mean_last_hop >= 9.0);
+        assert!(stats.max_last_hop <= 10);
+    }
+
+    #[test]
+    fn ringcast_beats_randcast_at_equal_fanout() {
+        let overlay = warmed_overlay(300, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let rand_stats = run_experiment(&overlay, &RandCast::new(2), 10, &mut rng);
+        let ring_stats = run_experiment(&overlay, &RingCast::new(2), 10, &mut rng);
+        assert_eq!(ring_stats.mean_miss_ratio, 0.0);
+        assert_eq!(ring_stats.complete_fraction, 1.0);
+        assert!(rand_stats.mean_miss_ratio > ring_stats.mean_miss_ratio);
+        assert!(rand_stats.complete_fraction < 1.0);
+    }
+
+    #[test]
+    fn message_counts_scale_with_fanout() {
+        let overlay = warmed_overlay(200, 6);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let low = run_experiment(&overlay, &RandCast::new(2), 5, &mut rng);
+        let high = run_experiment(&overlay, &RandCast::new(8), 5, &mut rng);
+        assert!(high.mean_total_messages > 3.0 * low.mean_total_messages);
+        // Virgin messages are bounded by the population.
+        assert!(high.mean_messages_to_virgin <= high.population as f64);
+        assert!(high.mean_messages_to_notified > low.mean_messages_to_notified);
+    }
+
+    #[test]
+    fn aggregate_serializes_for_the_harness() {
+        let overlay = StaticOverlay::deterministic(&builders::bidirectional_ring(&ids(10)));
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let stats = run_experiment(&overlay, &DeterministicFlooding::new(), 3, &mut rng);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: AggregateStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -1,0 +1,96 @@
+//! Dissemination messages.
+//!
+//! The simulator-driven experiments only need message *identities* (a node
+//! either has seen a message or it has not); the real-transport runtime in
+//! `hybridcast-net` additionally ships a payload. Both use [`Message`].
+
+use serde::{Deserialize, Serialize};
+
+use hybridcast_graph::NodeId;
+
+/// Globally unique identity of a disseminated message.
+///
+/// A message is identified by its origin node and a per-origin sequence
+/// number, which is how deployed gossip systems deduplicate without any
+/// central coordination.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MessageId {
+    /// The node that generated the message.
+    pub origin: NodeId,
+    /// Sequence number assigned by the origin.
+    pub sequence: u64,
+}
+
+impl MessageId {
+    /// Creates a message id.
+    pub const fn new(origin: NodeId, sequence: u64) -> Self {
+        MessageId { origin, sequence }
+    }
+}
+
+impl std::fmt::Display for MessageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.origin, self.sequence)
+    }
+}
+
+/// A disseminated message: identity plus opaque payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// The message identity used for deduplication.
+    pub id: MessageId,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// Creates a message with the given identity and payload.
+    pub fn new(id: MessageId, payload: impl Into<Vec<u8>>) -> Self {
+        Message {
+            id,
+            payload: payload.into(),
+        }
+    }
+
+    /// Creates a payload-less marker message (sufficient for simulation).
+    pub fn marker(origin: NodeId, sequence: u64) -> Self {
+        Message {
+            id: MessageId::new(origin, sequence),
+            payload: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_id_identity_and_display() {
+        let a = MessageId::new(NodeId::new(3), 7);
+        let b = MessageId::new(NodeId::new(3), 7);
+        let c = MessageId::new(NodeId::new(3), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a < c);
+        assert_eq!(a.to_string(), "n3#7");
+    }
+
+    #[test]
+    fn marker_messages_have_empty_payload() {
+        let m = Message::marker(NodeId::new(1), 0);
+        assert!(m.payload.is_empty());
+        assert_eq!(m.id.origin, NodeId::new(1));
+    }
+
+    #[test]
+    fn payload_round_trip() {
+        let m = Message::new(MessageId::new(NodeId::new(2), 5), b"hello".to_vec());
+        assert_eq!(m.payload, b"hello");
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Message = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

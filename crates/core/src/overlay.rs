@@ -1,0 +1,297 @@
+//! The overlay abstraction dissemination runs over.
+//!
+//! A dissemination only needs to know, for every node, which other nodes it
+//! can forward a message to: its random links (r-links, from the peer
+//! sampling service) and its deterministic links (d-links, e.g. ring
+//! neighbours). [`Overlay`] captures exactly that, so the same engine and
+//! protocols run over
+//!
+//! * [`SnapshotOverlay`] — a frozen overlay exported by the simulator
+//!   (`hybridcast_sim::OverlaySnapshot`), the setup of all paper
+//!   experiments, and
+//! * [`StaticOverlay`] — overlays assembled directly from
+//!   `hybridcast_graph` constructions (rings, Harary graphs, random
+//!   graphs), used for the deterministic baselines of Section 3 and in unit
+//!   tests.
+
+use std::collections::BTreeMap;
+
+use hybridcast_graph::{DiGraph, NodeId};
+use hybridcast_sim::OverlaySnapshot;
+
+/// Read-only access to the overlay a dissemination runs over.
+///
+/// Links may point to dead nodes (e.g. after a catastrophic failure);
+/// implementations report liveness separately via [`Overlay::is_live`] so
+/// that the engine can account messages wasted on dead destinations.
+pub trait Overlay {
+    /// Returns `true` if the node is alive (can receive and forward).
+    fn is_live(&self, node: NodeId) -> bool;
+
+    /// The ids of all live nodes.
+    fn live_node_ids(&self) -> Vec<NodeId>;
+
+    /// Number of live nodes.
+    fn live_count(&self) -> usize {
+        self.live_node_ids().len()
+    }
+
+    /// The node's outgoing random links (may include dead nodes).
+    fn r_links(&self, node: NodeId) -> Vec<NodeId>;
+
+    /// The node's outgoing deterministic links (may include dead nodes).
+    fn d_links(&self, node: NodeId) -> Vec<NodeId>;
+}
+
+/// An [`Overlay`] backed by a frozen simulator snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotOverlay {
+    snapshot: OverlaySnapshot,
+}
+
+impl SnapshotOverlay {
+    /// Wraps a simulator snapshot.
+    pub fn new(snapshot: OverlaySnapshot) -> Self {
+        SnapshotOverlay { snapshot }
+    }
+
+    /// Read access to the underlying snapshot (lifetimes, ring positions).
+    pub fn snapshot(&self) -> &OverlaySnapshot {
+        &self.snapshot
+    }
+
+    /// Mutable access to the underlying snapshot, e.g. to kill nodes after
+    /// freezing (catastrophic-failure experiments).
+    pub fn snapshot_mut(&mut self) -> &mut OverlaySnapshot {
+        &mut self.snapshot
+    }
+
+    /// Unwraps the snapshot.
+    pub fn into_inner(self) -> OverlaySnapshot {
+        self.snapshot
+    }
+}
+
+impl From<OverlaySnapshot> for SnapshotOverlay {
+    fn from(snapshot: OverlaySnapshot) -> Self {
+        SnapshotOverlay::new(snapshot)
+    }
+}
+
+impl Overlay for SnapshotOverlay {
+    fn is_live(&self, node: NodeId) -> bool {
+        self.snapshot.is_live(node)
+    }
+
+    fn live_node_ids(&self) -> Vec<NodeId> {
+        self.snapshot.live_nodes().collect()
+    }
+
+    fn live_count(&self) -> usize {
+        self.snapshot.len()
+    }
+
+    fn r_links(&self, node: NodeId) -> Vec<NodeId> {
+        self.snapshot.r_links(node)
+    }
+
+    fn d_links(&self, node: NodeId) -> Vec<NodeId> {
+        self.snapshot.d_links(node)
+    }
+}
+
+/// An [`Overlay`] assembled from explicit link graphs.
+///
+/// Used for the deterministic baselines (trees, stars, cliques, Harary
+/// graphs flooded over their d-links) and for tests that need precise
+/// control over the topology.
+#[derive(Debug, Clone, Default)]
+pub struct StaticOverlay {
+    nodes: BTreeMap<NodeId, bool>,
+    r_links: BTreeMap<NodeId, Vec<NodeId>>,
+    d_links: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl StaticOverlay {
+    /// Creates an empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an overlay whose d-links come from `d_graph` and r-links from
+    /// `r_graph`; the node set is the union of both graphs, all alive.
+    pub fn from_graphs(d_graph: &DiGraph, r_graph: &DiGraph) -> Self {
+        let mut overlay = StaticOverlay::new();
+        for node in d_graph.nodes().chain(r_graph.nodes()) {
+            overlay.add_node(node);
+        }
+        for (from, to) in d_graph.edges() {
+            overlay.add_d_link(from, to);
+        }
+        for (from, to) in r_graph.edges() {
+            overlay.add_r_link(from, to);
+        }
+        overlay
+    }
+
+    /// Creates an overlay with only deterministic links (r-link set empty),
+    /// as used by the flooding baselines of Section 3.
+    pub fn deterministic(d_graph: &DiGraph) -> Self {
+        Self::from_graphs(d_graph, &DiGraph::new())
+    }
+
+    /// Creates an overlay with only random links (d-link set empty), the
+    /// shape RandCast runs over.
+    pub fn random(r_graph: &DiGraph) -> Self {
+        Self::from_graphs(&DiGraph::new(), r_graph)
+    }
+
+    /// Registers a live node.
+    pub fn add_node(&mut self, node: NodeId) {
+        self.nodes.entry(node).or_insert(true);
+    }
+
+    /// Adds an outgoing r-link.
+    pub fn add_r_link(&mut self, from: NodeId, to: NodeId) {
+        self.add_node(from);
+        let links = self.r_links.entry(from).or_default();
+        if !links.contains(&to) {
+            links.push(to);
+        }
+    }
+
+    /// Adds an outgoing d-link.
+    pub fn add_d_link(&mut self, from: NodeId, to: NodeId) {
+        self.add_node(from);
+        let links = self.d_links.entry(from).or_default();
+        if !links.contains(&to) {
+            links.push(to);
+        }
+    }
+
+    /// Marks a node as dead. Its links (and links pointing to it) stay in
+    /// place as dead links. Returns `true` if the node was alive.
+    pub fn kill_node(&mut self, node: NodeId) -> bool {
+        match self.nodes.get_mut(&node) {
+            Some(alive) if *alive => {
+                *alive = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Total number of nodes, dead or alive.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl Overlay for StaticOverlay {
+    fn is_live(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).copied().unwrap_or(false)
+    }
+
+    fn live_node_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|&(_, &alive)| alive)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    fn r_links(&self, node: NodeId) -> Vec<NodeId> {
+        self.r_links.get(&node).cloned().unwrap_or_default()
+    }
+
+    fn d_links(&self, node: NodeId) -> Vec<NodeId> {
+        self.d_links.get(&node).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridcast_graph::builders;
+    use hybridcast_sim::{Network, SimConfig};
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ids(count: u64) -> Vec<NodeId> {
+        (0..count).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn static_overlay_from_graphs() {
+        let ring = builders::bidirectional_ring(&ids(6));
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(1);
+        let random = builders::random_out_degree(&ids(6), 3, &mut rng);
+        let overlay = StaticOverlay::from_graphs(&ring, &random);
+        assert_eq!(overlay.live_count(), 6);
+        assert_eq!(overlay.d_links(n(0)).len(), 2);
+        assert_eq!(overlay.r_links(n(0)).len(), 3);
+        assert!(overlay.is_live(n(5)));
+        assert!(!overlay.is_live(n(99)));
+    }
+
+    #[test]
+    fn deterministic_and_random_constructors() {
+        let ring = builders::bidirectional_ring(&ids(5));
+        let det = StaticOverlay::deterministic(&ring);
+        assert!(det.r_links(n(0)).is_empty());
+        assert_eq!(det.d_links(n(0)).len(), 2);
+
+        let rnd = StaticOverlay::random(&ring);
+        assert!(rnd.d_links(n(0)).is_empty());
+        assert_eq!(rnd.r_links(n(0)).len(), 2);
+    }
+
+    #[test]
+    fn kill_node_keeps_links_in_place() {
+        let ring = builders::bidirectional_ring(&ids(4));
+        let mut overlay = StaticOverlay::deterministic(&ring);
+        assert!(overlay.kill_node(n(2)));
+        assert!(!overlay.kill_node(n(2)), "already dead");
+        assert!(!overlay.kill_node(n(9)), "unknown");
+        assert!(!overlay.is_live(n(2)));
+        assert_eq!(overlay.live_count(), 3);
+        assert_eq!(overlay.total_nodes(), 4);
+        // Neighbours still point at the dead node.
+        assert!(overlay.d_links(n(1)).contains(&n(2)));
+    }
+
+    #[test]
+    fn duplicate_links_are_not_stored_twice() {
+        let mut overlay = StaticOverlay::new();
+        overlay.add_r_link(n(0), n(1));
+        overlay.add_r_link(n(0), n(1));
+        overlay.add_d_link(n(0), n(2));
+        overlay.add_d_link(n(0), n(2));
+        assert_eq!(overlay.r_links(n(0)), vec![n(1)]);
+        assert_eq!(overlay.d_links(n(0)), vec![n(2)]);
+    }
+
+    #[test]
+    fn snapshot_overlay_delegates_to_snapshot() {
+        let mut net = Network::new(
+            SimConfig {
+                nodes: 40,
+                ..SimConfig::default()
+            },
+            3,
+        );
+        net.run_cycles(40);
+        let mut overlay = SnapshotOverlay::new(net.overlay_snapshot());
+        assert_eq!(overlay.live_count(), 40);
+        let some_node = overlay.live_node_ids()[0];
+        assert!(!overlay.r_links(some_node).is_empty());
+        assert_eq!(overlay.d_links(some_node).len(), 2, "one ring: two d-links");
+
+        overlay.snapshot_mut().remove_node(some_node);
+        assert!(!overlay.is_live(some_node));
+        assert_eq!(overlay.live_count(), 39);
+        assert_eq!(overlay.snapshot().len(), 39);
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic dissemination by flooding (Section 3 of the paper).
+
+use rand::RngCore;
+
+use hybridcast_graph::NodeId;
+
+use crate::overlay::Overlay;
+use crate::protocols::GossipTargetSelector;
+
+/// Flooding over *all* outgoing links (d-links and r-links).
+///
+/// A node forwards a newly received message across every outgoing link
+/// except the one it arrived on. If the combined link set forms a strongly
+/// connected graph, dissemination is complete; the price is a message
+/// overhead equal to the total number of links.
+///
+/// The `fanout()` reported by this selector is 0, meaning "unbounded":
+/// flooding has no fanout parameter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Flooding;
+
+impl Flooding {
+    /// Creates a flooding selector.
+    pub fn new() -> Self {
+        Flooding
+    }
+}
+
+impl GossipTargetSelector for Flooding {
+    fn name(&self) -> &str {
+        "Flooding"
+    }
+
+    fn fanout(&self) -> usize {
+        0
+    }
+
+    fn select_targets(
+        &self,
+        overlay: &dyn Overlay,
+        node: NodeId,
+        from: Option<NodeId>,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        let mut targets = Vec::new();
+        for link in overlay
+            .d_links(node)
+            .into_iter()
+            .chain(overlay.r_links(node))
+        {
+            if link != node && Some(link) != from && !targets.contains(&link) {
+                targets.push(link);
+            }
+        }
+        targets
+    }
+}
+
+/// Flooding restricted to the deterministic links (d-links) only.
+///
+/// This is the classic flooding baseline of Section 3 run over a strategic
+/// overlay — a tree, star, clique, ring or Harary graph built with
+/// `hybridcast_graph::builders` — with the minimum message overhead the
+/// chosen overlay allows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeterministicFlooding;
+
+impl DeterministicFlooding {
+    /// Creates a d-link-only flooding selector.
+    pub fn new() -> Self {
+        DeterministicFlooding
+    }
+}
+
+impl GossipTargetSelector for DeterministicFlooding {
+    fn name(&self) -> &str {
+        "DeterministicFlooding"
+    }
+
+    fn fanout(&self) -> usize {
+        0
+    }
+
+    fn select_targets(
+        &self,
+        overlay: &dyn Overlay,
+        node: NodeId,
+        from: Option<NodeId>,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        overlay
+            .d_links(node)
+            .into_iter()
+            .filter(|&link| link != node && Some(link) != from)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::StaticOverlay;
+    use hybridcast_graph::builders;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ids(count: u64) -> Vec<NodeId> {
+        (0..count).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn flooding_uses_all_links_except_sender() {
+        let ring = builders::bidirectional_ring(&ids(5));
+        let mut overlay = StaticOverlay::deterministic(&ring);
+        overlay.add_r_link(n(0), n(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+
+        let targets = Flooding::new().select_targets(&overlay, n(0), Some(n(1)), &mut rng);
+        assert!(targets.contains(&n(4)), "other ring neighbour");
+        assert!(targets.contains(&n(3)), "r-link");
+        assert!(!targets.contains(&n(1)), "never the sender");
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn flooding_deduplicates_links_present_in_both_sets() {
+        let mut overlay = StaticOverlay::new();
+        overlay.add_d_link(n(0), n(1));
+        overlay.add_r_link(n(0), n(1));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let targets = Flooding::new().select_targets(&overlay, n(0), None, &mut rng);
+        assert_eq!(targets, vec![n(1)]);
+    }
+
+    #[test]
+    fn deterministic_flooding_ignores_r_links() {
+        let ring = builders::bidirectional_ring(&ids(5));
+        let mut overlay = StaticOverlay::deterministic(&ring);
+        overlay.add_r_link(n(0), n(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let targets =
+            DeterministicFlooding::new().select_targets(&overlay, n(0), None, &mut rng);
+        assert_eq!(targets.len(), 2);
+        assert!(!targets.contains(&n(3)));
+    }
+
+    #[test]
+    fn names_and_fanout() {
+        assert_eq!(Flooding::new().name(), "Flooding");
+        assert_eq!(DeterministicFlooding::new().name(), "DeterministicFlooding");
+        assert_eq!(Flooding::new().fanout(), 0);
+    }
+}

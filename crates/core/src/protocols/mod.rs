@@ -1,0 +1,113 @@
+//! Gossip-target selection policies.
+//!
+//! Figure 1 of the paper defines push dissemination generically: a node that
+//! generates a message or receives it for the first time forwards it to the
+//! nodes returned by `selectGossipTargets(Q)`, where `Q` is the node it just
+//! received the message from. Every protocol in the paper differs *only* in
+//! that function:
+//!
+//! | protocol | target selection | module |
+//! |---|---|---|
+//! | deterministic flooding (Section 3) | every outgoing link except `Q` | [`Flooding`] / [`DeterministicFlooding`] |
+//! | RandCast (Section 4) | `F` random view entries except `Q` | [`RandCast`] |
+//! | RingCast (Section 5) | both ring neighbours except `Q`, plus random entries up to `F` | [`RingCast`] |
+//!
+//! [`GossipTargetSelector`] captures that interface; the hop-synchronous
+//! engine ([`crate::engine`]) and the real-transport runtime
+//! (`hybridcast-net`) are both written against it.
+
+mod flooding;
+mod randcast;
+mod ringcast;
+
+pub use flooding::{DeterministicFlooding, Flooding};
+pub use randcast::RandCast;
+pub use ringcast::RingCast;
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+
+use hybridcast_graph::NodeId;
+
+use crate::overlay::Overlay;
+
+/// A gossip-target selection policy: the pluggable heart of every push
+/// dissemination protocol.
+pub trait GossipTargetSelector {
+    /// Human-readable protocol name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// The fanout parameter `F` this selector was configured with.
+    fn fanout(&self) -> usize;
+
+    /// Selects the nodes `node` forwards a freshly received message to.
+    ///
+    /// `from` is the node the message was received from (`None` when `node`
+    /// is the origin); implementations must never return `from` or `node`
+    /// itself. Returned targets may be dead — the selector has no liveness
+    /// knowledge, exactly like a real node pushing over possibly stale
+    /// links.
+    fn select_targets(
+        &self,
+        overlay: &dyn Overlay,
+        node: NodeId,
+        from: Option<NodeId>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId>;
+}
+
+/// Draws up to `count` elements uniformly at random (without replacement)
+/// from `candidates`, excluding `node`, `from` and anything in `already`.
+pub(crate) fn pick_random_targets(
+    candidates: &[NodeId],
+    count: usize,
+    node: NodeId,
+    from: Option<NodeId>,
+    already: &[NodeId],
+    rng: &mut dyn RngCore,
+) -> Vec<NodeId> {
+    let mut pool: Vec<NodeId> = candidates
+        .iter()
+        .copied()
+        .filter(|&c| c != node && Some(c) != from && !already.contains(&c))
+        .collect();
+    pool.shuffle(rng);
+    pool.truncate(count);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn pick_random_targets_respects_exclusions_and_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let candidates: Vec<NodeId> = (0..10).map(n).collect();
+        let already = vec![n(4)];
+        let picked =
+            pick_random_targets(&candidates, 5, n(0), Some(n(1)), &already, &mut rng);
+        assert_eq!(picked.len(), 5);
+        assert!(!picked.contains(&n(0)));
+        assert!(!picked.contains(&n(1)));
+        assert!(!picked.contains(&n(4)));
+        let mut dedup = picked.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5, "no duplicates");
+    }
+
+    #[test]
+    fn pick_random_targets_truncates_to_pool_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let candidates = vec![n(1), n(2)];
+        let picked = pick_random_targets(&candidates, 10, n(0), None, &[], &mut rng);
+        assert_eq!(picked.len(), 2);
+    }
+}

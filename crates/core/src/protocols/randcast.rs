@@ -1,0 +1,137 @@
+//! The RandCast purely probabilistic dissemination protocol (Section 4).
+
+use rand::RngCore;
+
+use hybridcast_graph::NodeId;
+
+use crate::overlay::Overlay;
+use crate::protocols::{pick_random_targets, GossipTargetSelector};
+
+/// RandCast: forward every fresh message to `F` nodes chosen uniformly at
+/// random from the peer-sampling view (the r-links), never back to the
+/// sender.
+///
+/// RandCast spreads messages at exponential speed (`F^h` nodes after `h`
+/// hops while the network is far from saturated), but provides only
+/// probabilistic delivery: a node is missed whenever none of its incoming
+/// links happens to be chosen, so the miss ratio decays only exponentially
+/// with `F` and complete dissemination requires a large fanout — the
+/// inefficiency quantified in Figures 6–8 of the paper and addressed by
+/// [`crate::protocols::RingCast`].
+///
+/// # Example
+///
+/// ```
+/// use hybridcast_core::protocols::{GossipTargetSelector, RandCast};
+///
+/// let protocol = RandCast::new(5);
+/// assert_eq!(protocol.fanout(), 5);
+/// assert_eq!(protocol.name(), "RandCast");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandCast {
+    fanout: usize,
+}
+
+impl RandCast {
+    /// Creates a RandCast selector with fanout `F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero: a zero fanout never forwards anything.
+    pub fn new(fanout: usize) -> Self {
+        assert!(fanout > 0, "RandCast fanout must be positive");
+        RandCast { fanout }
+    }
+}
+
+impl GossipTargetSelector for RandCast {
+    fn name(&self) -> &str {
+        "RandCast"
+    }
+
+    fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    fn select_targets(
+        &self,
+        overlay: &dyn Overlay,
+        node: NodeId,
+        from: Option<NodeId>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        let view = overlay.r_links(node);
+        pick_random_targets(&view, self.fanout, node, from, &[], rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::StaticOverlay;
+    use hybridcast_graph::builders;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ids(count: u64) -> Vec<NodeId> {
+        (0..count).map(NodeId::new).collect()
+    }
+
+    fn random_overlay(nodes: u64, degree: usize, seed: u64) -> StaticOverlay {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        StaticOverlay::random(&builders::random_out_degree(&ids(nodes), degree, &mut rng))
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be positive")]
+    fn zero_fanout_panics() {
+        RandCast::new(0);
+    }
+
+    #[test]
+    fn selects_at_most_fanout_targets_from_r_links() {
+        let overlay = random_overlay(50, 20, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let protocol = RandCast::new(4);
+        let targets = protocol.select_targets(&overlay, n(0), None, &mut rng);
+        assert_eq!(targets.len(), 4);
+        let view = overlay.r_links(n(0));
+        assert!(targets.iter().all(|t| view.contains(t)));
+    }
+
+    #[test]
+    fn never_selects_sender_or_self() {
+        let overlay = random_overlay(30, 29, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let protocol = RandCast::new(29);
+        let sender = overlay.r_links(n(0))[0];
+        let targets = protocol.select_targets(&overlay, n(0), Some(sender), &mut rng);
+        assert!(!targets.contains(&sender));
+        assert!(!targets.contains(&n(0)));
+        assert_eq!(targets.len(), 28, "everything except self and sender");
+    }
+
+    #[test]
+    fn ignores_d_links_entirely() {
+        let mut overlay = StaticOverlay::new();
+        overlay.add_d_link(n(0), n(1));
+        overlay.add_d_link(n(0), n(2));
+        overlay.add_r_link(n(0), n(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let targets = RandCast::new(5).select_targets(&overlay, n(0), None, &mut rng);
+        assert_eq!(targets, vec![n(3)]);
+    }
+
+    #[test]
+    fn small_view_bounds_target_count() {
+        let overlay = random_overlay(5, 2, 6);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let targets = RandCast::new(10).select_targets(&overlay, n(0), None, &mut rng);
+        assert!(targets.len() <= 2);
+    }
+}

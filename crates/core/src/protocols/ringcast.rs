@@ -1,0 +1,198 @@
+//! The RingCast hybrid dissemination protocol (Section 5).
+
+use rand::RngCore;
+
+use hybridcast_graph::NodeId;
+
+use crate::overlay::Overlay;
+use crate::protocols::{pick_random_targets, GossipTargetSelector};
+
+/// RingCast: the hybrid probabilistic/deterministic dissemination protocol
+/// that is the paper's main contribution.
+///
+/// A node forwards every fresh message across **all** of its deterministic
+/// links (except the one the message arrived on) and tops the target set up
+/// to the fanout `F` with uniformly random r-links:
+///
+/// * with a single bidirectional ring this is exactly the paper's rule —
+///   both ring neighbours plus `F − 2` random peers (or the other neighbour
+///   plus `F − 1` random peers when the message came from a ring
+///   neighbour);
+/// * with the multi-ring or Harary-graph d-link sets of the reliability
+///   extension (Section 8) the same rule forwards over every ring/Harary
+///   link and fills the remainder with random links.
+///
+/// The d-links guarantee complete dissemination in a failure-free network —
+/// the message walks the ring exhaustively — while the r-links spread it at
+/// exponential speed and bridge ring partitions when nodes have failed.
+///
+/// # Example
+///
+/// ```
+/// use hybridcast_core::protocols::{GossipTargetSelector, RingCast};
+///
+/// let protocol = RingCast::new(3);
+/// assert_eq!(protocol.fanout(), 3);
+/// assert_eq!(protocol.name(), "RingCast");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingCast {
+    fanout: usize,
+}
+
+impl RingCast {
+    /// Creates a RingCast selector with fanout `F`.
+    ///
+    /// The d-links are always followed, even when their number exceeds `F`
+    /// (the paper's pseudo-code does the same: with `F = 1` a node still
+    /// forwards to both ring neighbours).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn new(fanout: usize) -> Self {
+        assert!(fanout > 0, "RingCast fanout must be positive");
+        RingCast { fanout }
+    }
+}
+
+impl GossipTargetSelector for RingCast {
+    fn name(&self) -> &str {
+        "RingCast"
+    }
+
+    fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    fn select_targets(
+        &self,
+        overlay: &dyn Overlay,
+        node: NodeId,
+        from: Option<NodeId>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        // Deterministic part: every d-link except the sender.
+        let mut targets: Vec<NodeId> = Vec::new();
+        for link in overlay.d_links(node) {
+            if link != node && Some(link) != from && !targets.contains(&link) {
+                targets.push(link);
+            }
+        }
+        // Probabilistic part: fill up to F with random r-links.
+        let remaining = self.fanout.saturating_sub(targets.len());
+        if remaining > 0 {
+            let view = overlay.r_links(node);
+            let random = pick_random_targets(&view, remaining, node, from, &targets, rng);
+            targets.extend(random);
+        }
+        targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::StaticOverlay;
+    use hybridcast_graph::builders;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ids(count: u64) -> Vec<NodeId> {
+        (0..count).map(NodeId::new).collect()
+    }
+
+    /// A 10-node bidirectional ring with a full random graph on top.
+    fn ring_overlay(seed: u64) -> StaticOverlay {
+        let nodes = ids(10);
+        let ring = builders::bidirectional_ring(&nodes);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let random = builders::random_out_degree(&nodes, 6, &mut rng);
+        StaticOverlay::from_graphs(&ring, &random)
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be positive")]
+    fn zero_fanout_panics() {
+        RingCast::new(0);
+    }
+
+    #[test]
+    fn origin_forwards_to_both_ring_neighbors_plus_randoms() {
+        let overlay = ring_overlay(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let targets = RingCast::new(5).select_targets(&overlay, n(0), None, &mut rng);
+        assert!(targets.contains(&n(1)));
+        assert!(targets.contains(&n(9)));
+        assert_eq!(targets.len(), 5, "2 d-links + 3 r-links");
+        let mut dedup = targets.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn message_from_ring_neighbor_goes_to_the_other_neighbor() {
+        let overlay = ring_overlay(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let targets = RingCast::new(4).select_targets(&overlay, n(0), Some(n(1)), &mut rng);
+        assert!(!targets.contains(&n(1)), "never back to the sender");
+        assert!(targets.contains(&n(9)), "the other ring neighbour");
+        assert_eq!(targets.len(), 4, "1 d-link + 3 r-links");
+    }
+
+    #[test]
+    fn fanout_one_still_follows_all_d_links() {
+        let overlay = ring_overlay(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let targets = RingCast::new(1).select_targets(&overlay, n(0), None, &mut rng);
+        assert_eq!(targets.len(), 2, "both ring neighbours, no r-links");
+        assert!(targets.contains(&n(1)));
+        assert!(targets.contains(&n(9)));
+    }
+
+    #[test]
+    fn random_targets_never_duplicate_d_links() {
+        // r-links identical to d-links: the random fill must not pick them again.
+        let mut overlay = StaticOverlay::new();
+        overlay.add_d_link(n(0), n(1));
+        overlay.add_d_link(n(0), n(2));
+        overlay.add_r_link(n(0), n(1));
+        overlay.add_r_link(n(0), n(2));
+        overlay.add_r_link(n(0), n(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let targets = RingCast::new(4).select_targets(&overlay, n(0), None, &mut rng);
+        assert_eq!(targets.len(), 3);
+        let mut sorted = targets.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn multi_ring_d_links_are_all_followed() {
+        // Four d-links (two rings), fanout 3: all four d-links followed, no
+        // random fill since the deterministic part already exceeds F.
+        let mut overlay = StaticOverlay::new();
+        for d in [1, 2, 3, 4] {
+            overlay.add_d_link(n(0), n(d));
+        }
+        overlay.add_r_link(n(0), n(9));
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let targets = RingCast::new(3).select_targets(&overlay, n(0), None, &mut rng);
+        assert_eq!(targets.len(), 4);
+        assert!(!targets.contains(&n(9)));
+    }
+
+    #[test]
+    fn isolated_node_selects_nothing() {
+        let mut overlay = StaticOverlay::new();
+        overlay.add_node(n(0));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let targets = RingCast::new(5).select_targets(&overlay, n(0), None, &mut rng);
+        assert!(targets.is_empty());
+    }
+}

@@ -1,0 +1,305 @@
+//! Topic-based publish/subscribe on top of hybrid dissemination.
+//!
+//! The paper's conclusions note that RandCast/RingCast extend naturally to
+//! topic-based pub/sub: every topic forms its own dissemination overlay,
+//! subscribers join the overlays of the topics they care about, and an event
+//! is multicast by disseminating it inside the topic's overlay.
+//!
+//! [`PubSub`] implements that construction. Each topic gets an independent
+//! [`StaticOverlay`] built from its subscriber set — a bidirectional ring
+//! over the subscribers (the topic's d-links) plus a random graph of
+//! configurable out-degree (the topic's r-links) — and events are published
+//! with any [`GossipTargetSelector`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hybridcast_graph::{builders, NodeId};
+
+use crate::engine::disseminate;
+use crate::metrics::DisseminationReport;
+use crate::overlay::StaticOverlay;
+use crate::protocols::GossipTargetSelector;
+
+/// Identifier of a pub/sub topic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Topic(pub String);
+
+impl Topic {
+    /// Creates a topic from any string-like value.
+    pub fn new(name: impl Into<String>) -> Self {
+        Topic(name.into())
+    }
+}
+
+impl std::fmt::Display for Topic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Topic {
+    fn from(name: &str) -> Self {
+        Topic::new(name)
+    }
+}
+
+/// Configuration of the per-topic overlays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PubSubConfig {
+    /// Out-degree of the per-topic random graph (the topic's r-links).
+    pub random_out_degree: usize,
+}
+
+impl Default for PubSubConfig {
+    fn default() -> Self {
+        PubSubConfig {
+            random_out_degree: 5,
+        }
+    }
+}
+
+/// A topic-based publish/subscribe system: per-topic subscriber sets and
+/// per-topic dissemination overlays.
+#[derive(Debug, Clone)]
+pub struct PubSub {
+    config: PubSubConfig,
+    subscriptions: BTreeMap<Topic, BTreeSet<NodeId>>,
+}
+
+impl PubSub {
+    /// Creates an empty pub/sub system.
+    pub fn new(config: PubSubConfig) -> Self {
+        PubSub {
+            config,
+            subscriptions: BTreeMap::new(),
+        }
+    }
+
+    /// Subscribes `node` to `topic`. Returns `true` if it was not already
+    /// subscribed.
+    pub fn subscribe(&mut self, topic: Topic, node: NodeId) -> bool {
+        self.subscriptions.entry(topic).or_default().insert(node)
+    }
+
+    /// Unsubscribes `node` from `topic`. Returns `true` if it was
+    /// subscribed. Topics with no remaining subscribers are dropped.
+    pub fn unsubscribe(&mut self, topic: &Topic, node: NodeId) -> bool {
+        let Some(subscribers) = self.subscriptions.get_mut(topic) else {
+            return false;
+        };
+        let removed = subscribers.remove(&node);
+        if subscribers.is_empty() {
+            self.subscriptions.remove(topic);
+        }
+        removed
+    }
+
+    /// The topics currently having at least one subscriber.
+    pub fn topics(&self) -> Vec<Topic> {
+        self.subscriptions.keys().cloned().collect()
+    }
+
+    /// The subscribers of a topic (empty for unknown topics).
+    pub fn subscribers(&self, topic: &Topic) -> Vec<NodeId> {
+        self.subscriptions
+            .get(topic)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The topics a node is subscribed to.
+    pub fn subscriptions_of(&self, node: NodeId) -> Vec<Topic> {
+        self.subscriptions
+            .iter()
+            .filter(|(_, subs)| subs.contains(&node))
+            .map(|(topic, _)| topic.clone())
+            .collect()
+    }
+
+    /// Builds the dissemination overlay of a topic: a bidirectional ring
+    /// over the subscribers (in randomized order — the ring positions of the
+    /// paper are arbitrary) plus a random r-link graph.
+    ///
+    /// Returns `None` for unknown or empty topics.
+    pub fn topic_overlay<R: Rng + ?Sized>(
+        &self,
+        topic: &Topic,
+        rng: &mut R,
+    ) -> Option<StaticOverlay> {
+        let subscribers = self.subscriptions.get(topic)?;
+        if subscribers.is_empty() {
+            return None;
+        }
+        let mut members: Vec<NodeId> = subscribers.iter().copied().collect();
+        members.shuffle(rng);
+        let ring = builders::bidirectional_ring(&members);
+        let random = builders::random_out_degree(&members, self.config.random_out_degree, rng);
+        Some(StaticOverlay::from_graphs(&ring, &random))
+    }
+
+    /// Publishes an event on `topic` from `publisher` using the given
+    /// dissemination protocol, returning the dissemination report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the topic has no subscribers or the publisher is
+    /// not subscribed to it (the paper's model: publishers join the topic
+    /// overlay they publish on).
+    pub fn publish<R: Rng>(
+        &self,
+        topic: &Topic,
+        publisher: NodeId,
+        selector: &dyn GossipTargetSelector,
+        rng: &mut R,
+    ) -> Result<DisseminationReport, PublishError> {
+        let subscribers = self
+            .subscriptions
+            .get(topic)
+            .ok_or_else(|| PublishError::UnknownTopic(topic.clone()))?;
+        if !subscribers.contains(&publisher) {
+            return Err(PublishError::NotSubscribed {
+                topic: topic.clone(),
+                node: publisher,
+            });
+        }
+        let overlay = self
+            .topic_overlay(topic, rng)
+            .ok_or_else(|| PublishError::UnknownTopic(topic.clone()))?;
+        Ok(disseminate(&overlay, selector, publisher, rng))
+    }
+}
+
+/// Errors returned by [`PubSub::publish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError {
+    /// The topic has no subscribers.
+    UnknownTopic(Topic),
+    /// The publisher is not subscribed to the topic it tried to publish on.
+    NotSubscribed {
+        /// The topic that was published on.
+        topic: Topic,
+        /// The offending publisher.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::UnknownTopic(topic) => {
+                write!(f, "topic {topic} has no subscribers")
+            }
+            PublishError::NotSubscribed { topic, node } => {
+                write!(f, "node {node} is not subscribed to topic {topic}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::Overlay;
+    use crate::protocols::{RandCast, RingCast};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn pubsub_with_topic(topic: &str, members: std::ops::Range<u64>) -> PubSub {
+        let mut ps = PubSub::new(PubSubConfig::default());
+        for i in members {
+            ps.subscribe(Topic::new(topic), n(i));
+        }
+        ps
+    }
+
+    #[test]
+    fn subscribe_and_unsubscribe() {
+        let mut ps = PubSub::new(PubSubConfig::default());
+        let topic = Topic::new("weather");
+        assert!(ps.subscribe(topic.clone(), n(1)));
+        assert!(!ps.subscribe(topic.clone(), n(1)), "idempotent");
+        assert!(ps.subscribe(topic.clone(), n(2)));
+        assert_eq!(ps.subscribers(&topic), vec![n(1), n(2)]);
+        assert_eq!(ps.subscriptions_of(n(1)), vec![topic.clone()]);
+
+        assert!(ps.unsubscribe(&topic, n(1)));
+        assert!(!ps.unsubscribe(&topic, n(1)));
+        assert!(ps.unsubscribe(&topic, n(2)));
+        assert!(ps.topics().is_empty(), "empty topics are dropped");
+        assert!(!ps.unsubscribe(&topic, n(2)), "unknown topic");
+    }
+
+    #[test]
+    fn topic_overlay_covers_exactly_the_subscribers() {
+        let ps = pubsub_with_topic("news", 0..30);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let overlay = ps.topic_overlay(&Topic::new("news"), &mut rng).unwrap();
+        assert_eq!(overlay.live_count(), 30);
+        assert!(ps.topic_overlay(&Topic::new("sports"), &mut rng).is_none());
+    }
+
+    #[test]
+    fn publish_reaches_all_subscribers_with_ringcast() {
+        let ps = pubsub_with_topic("alerts", 0..50);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let report = ps
+            .publish(&Topic::new("alerts"), n(7), &RingCast::new(3), &mut rng)
+            .unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.population, 50);
+    }
+
+    #[test]
+    fn publish_with_randcast_may_miss_but_still_works() {
+        let ps = pubsub_with_topic("updates", 0..80);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let report = ps
+            .publish(&Topic::new("updates"), n(0), &RandCast::new(3), &mut rng)
+            .unwrap();
+        assert!(report.hit_ratio() > 0.5, "RandCast reaches a large fraction");
+    }
+
+    #[test]
+    fn publish_errors() {
+        let ps = pubsub_with_topic("a", 0..5);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let err = ps
+            .publish(&Topic::new("missing"), n(0), &RingCast::new(2), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, PublishError::UnknownTopic(_)));
+        assert!(err.to_string().contains("missing"));
+
+        let err = ps
+            .publish(&Topic::new("a"), n(99), &RingCast::new(2), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, PublishError::NotSubscribed { .. }));
+        assert!(err.to_string().contains("n99"));
+    }
+
+    #[test]
+    fn events_stay_within_their_topic() {
+        let mut ps = pubsub_with_topic("t1", 0..20);
+        for i in 20..40 {
+            ps.subscribe(Topic::new("t2"), n(i));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let report = ps
+            .publish(&Topic::new("t1"), n(3), &RingCast::new(3), &mut rng)
+            .unwrap();
+        assert_eq!(report.population, 20, "only t1 subscribers are targeted");
+        assert!(report
+            .received_counts
+            .keys()
+            .all(|id| id.as_u64() < 20));
+    }
+}

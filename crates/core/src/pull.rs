@@ -1,0 +1,378 @@
+//! Pull-based anti-entropy on top of push dissemination.
+//!
+//! The paper's conclusions leave pull-based dissemination as future work
+//! while noting that it "is expected to significantly improve the
+//! reliability of the protocol". This module implements that extension: a
+//! push phase (RandCast or RingCast, unchanged) followed by periodic *pull
+//! rounds* in which nodes that have not yet received a message poll a few
+//! random neighbours and fetch it if any of them holds it.
+//!
+//! The trade-off the paper anticipates is visible directly in the report:
+//! the pull phase closes the residual miss ratio (even for RandCast at tiny
+//! fanouts, or after failures) at the cost of extra rounds — i.e. extra
+//! latency, since pulls are periodic rather than reactive — and extra
+//! polling traffic.
+
+use std::collections::BTreeSet;
+
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use hybridcast_graph::NodeId;
+
+use crate::engine::disseminate;
+use crate::metrics::DisseminationReport;
+use crate::overlay::Overlay;
+use crate::protocols::GossipTargetSelector;
+
+/// Configuration of the pull phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PullConfig {
+    /// Number of random neighbours each still-missing node polls per round.
+    pub fanout: usize,
+    /// Maximum number of pull rounds before giving up.
+    pub max_rounds: usize,
+}
+
+impl Default for PullConfig {
+    fn default() -> Self {
+        PullConfig {
+            fanout: 1,
+            max_rounds: 20,
+        }
+    }
+}
+
+impl PullConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pull fanout is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fanout == 0 {
+            return Err("pull fanout must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a push phase followed by pull-based anti-entropy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushPullReport {
+    /// The unchanged report of the push phase.
+    pub push: DisseminationReport,
+    /// Pull rounds actually executed (0 when the push was already
+    /// complete).
+    pub pull_rounds: usize,
+    /// Poll messages sent by nodes still missing the message.
+    pub pull_requests: usize,
+    /// Successful transfers triggered by polls.
+    pub pull_transfers: usize,
+    /// Nodes that obtained the message in each pull round.
+    pub per_round_new: Vec<usize>,
+    /// Nodes holding the message after the pull phase.
+    pub reached_after_pull: usize,
+    /// Live nodes still missing the message after the pull phase.
+    pub unreached_after_pull: Vec<NodeId>,
+}
+
+impl PushPullReport {
+    /// Hit ratio after the pull phase, in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.push.population == 0 {
+            return 1.0;
+        }
+        self.reached_after_pull as f64 / self.push.population as f64
+    }
+
+    /// Miss ratio after the pull phase.
+    pub fn miss_ratio(&self) -> f64 {
+        1.0 - self.hit_ratio()
+    }
+
+    /// `true` if every live node holds the message after the pull phase.
+    pub fn is_complete(&self) -> bool {
+        self.reached_after_pull == self.push.population
+    }
+
+    /// Total number of messages including push traffic, polls and
+    /// transfers.
+    pub fn total_messages(&self) -> usize {
+        self.push.total_messages() + self.pull_requests + self.pull_transfers
+    }
+
+    /// The dissemination latency in rounds: push hops plus pull rounds
+    /// (each pull round costs a full gossip period, which is why the paper
+    /// calls pull-based dissemination slow).
+    pub fn total_rounds(&self) -> usize {
+        self.push.last_hop + self.pull_rounds
+    }
+}
+
+/// Runs a push dissemination followed by pull-based anti-entropy rounds.
+///
+/// During each pull round every live node that does not yet hold the
+/// message polls `config.fanout` random neighbours from its r-links; if at
+/// least one of them already holds the message, the node obtains it at the
+/// end of the round (rounds are synchronous, matching the cycle-based model
+/// of the rest of the evaluation).
+///
+/// # Panics
+///
+/// Panics if `origin` is not live or the pull configuration is invalid.
+pub fn disseminate_push_pull(
+    overlay: &dyn Overlay,
+    selector: &dyn GossipTargetSelector,
+    origin: NodeId,
+    config: PullConfig,
+    rng: &mut dyn RngCore,
+) -> PushPullReport {
+    config.validate().expect("invalid pull configuration");
+    let push = disseminate(overlay, selector, origin, rng);
+
+    let mut holders: BTreeSet<NodeId> = overlay
+        .live_node_ids()
+        .into_iter()
+        .filter(|id| !push.unreached.contains(id))
+        .collect();
+    let live: Vec<NodeId> = overlay.live_node_ids();
+
+    let mut pull_rounds = 0usize;
+    let mut pull_requests = 0usize;
+    let mut pull_transfers = 0usize;
+    let mut per_round_new = Vec::new();
+
+    while holders.len() < live.len() && pull_rounds < config.max_rounds {
+        pull_rounds += 1;
+        let mut obtained_this_round = Vec::new();
+        for &node in live.iter().filter(|id| !holders.contains(id)) {
+            let mut neighbours: Vec<NodeId> = overlay
+                .r_links(node)
+                .into_iter()
+                .filter(|&peer| peer != node && overlay.is_live(peer))
+                .collect();
+            neighbours.shuffle(rng);
+            neighbours.truncate(config.fanout);
+            pull_requests += neighbours.len();
+            if neighbours.iter().any(|peer| holders.contains(peer)) {
+                pull_transfers += 1;
+                obtained_this_round.push(node);
+            }
+        }
+        per_round_new.push(obtained_this_round.len());
+        if obtained_this_round.is_empty() && per_round_new.iter().rev().take(3).all(|&n| n == 0)
+        {
+            // Three consecutive dry rounds: the remaining nodes have no live
+            // links into the holder set (isolated by failures); polling
+            // further cannot help.
+            break;
+        }
+        holders.extend(obtained_this_round);
+    }
+
+    let unreached_after_pull: Vec<NodeId> = live
+        .iter()
+        .copied()
+        .filter(|id| !holders.contains(id))
+        .collect();
+
+    PushPullReport {
+        push,
+        pull_rounds,
+        pull_requests,
+        pull_transfers,
+        per_round_new,
+        reached_after_pull: holders.len(),
+        unreached_after_pull,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::{SnapshotOverlay, StaticOverlay};
+    use crate::protocols::{RandCast, RingCast};
+    use hybridcast_graph::builders;
+    use hybridcast_sim::{Network, SimConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn warmed_overlay(nodes: usize, seed: u64) -> SnapshotOverlay {
+        let mut net = Network::new(
+            SimConfig {
+                nodes,
+                ..SimConfig::default()
+            },
+            seed,
+        );
+        net.run_cycles(120);
+        SnapshotOverlay::new(net.overlay_snapshot())
+    }
+
+    #[test]
+    fn pull_config_validation() {
+        assert!(PullConfig::default().validate().is_ok());
+        assert!(PullConfig {
+            fanout: 0,
+            max_rounds: 5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid pull configuration")]
+    fn invalid_config_panics() {
+        let overlay = StaticOverlay::deterministic(&builders::bidirectional_ring(
+            &(0..4).map(NodeId::new).collect::<Vec<_>>(),
+        ));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        disseminate_push_pull(
+            &overlay,
+            &RingCast::new(1),
+            NodeId::new(0),
+            PullConfig {
+                fanout: 0,
+                max_rounds: 1,
+            },
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn pull_is_a_no_op_when_push_already_completed() {
+        let overlay = warmed_overlay(200, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let origin = overlay.snapshot().live_nodes().next().unwrap();
+        let report = disseminate_push_pull(
+            &overlay,
+            &RingCast::new(3),
+            origin,
+            PullConfig::default(),
+            &mut rng,
+        );
+        assert!(report.push.is_complete());
+        assert_eq!(report.pull_rounds, 0);
+        assert_eq!(report.pull_requests, 0);
+        assert_eq!(report.total_messages(), report.push.total_messages());
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn pull_completes_what_low_fanout_randcast_misses() {
+        let overlay = warmed_overlay(400, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let origin = overlay.snapshot().live_nodes().next().unwrap();
+        let report = disseminate_push_pull(
+            &overlay,
+            &RandCast::new(2),
+            origin,
+            PullConfig {
+                fanout: 2,
+                max_rounds: 30,
+            },
+            &mut rng,
+        );
+        assert!(
+            !report.push.is_complete(),
+            "push at fanout 2 should leave misses on 400 nodes"
+        );
+        assert!(
+            report.is_complete(),
+            "pull must close the gap, still missing {}",
+            report.unreached_after_pull.len()
+        );
+        assert!(report.pull_rounds >= 1);
+        assert_eq!(
+            report.reached_after_pull,
+            report.push.reached + report.per_round_new.iter().sum::<usize>()
+        );
+        // Latency cost: pull rounds add to the push hops.
+        assert!(report.total_rounds() > report.push.last_hop);
+    }
+
+    #[test]
+    fn pull_improves_reliability_after_catastrophic_failure() {
+        let mut overlay = warmed_overlay(400, 5);
+        let mut failure_rng = ChaCha8Rng::seed_from_u64(6);
+        hybridcast_sim::failure::kill_fraction_in_snapshot(
+            overlay.snapshot_mut(),
+            0.10,
+            &mut failure_rng,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let origin = overlay.snapshot().live_nodes().next().unwrap();
+        let push_only = disseminate(&overlay, &RandCast::new(3), origin, &mut rng);
+        let with_pull = disseminate_push_pull(
+            &overlay,
+            &RandCast::new(3),
+            origin,
+            PullConfig {
+                fanout: 2,
+                max_rounds: 30,
+            },
+            &mut rng,
+        );
+        assert!(with_pull.hit_ratio() >= push_only.hit_ratio());
+        assert!(
+            with_pull.miss_ratio() < 0.01,
+            "pull should bring the miss ratio below 1%, got {:.4}",
+            with_pull.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_terminate_the_pull_phase_early() {
+        // Two nodes with no links at all can never be reached; the pull
+        // phase must stop polling after a few dry rounds instead of
+        // spinning until max_rounds.
+        let ids: Vec<NodeId> = (0..20).map(NodeId::new).collect();
+        let ring = builders::bidirectional_ring(&ids[..18]);
+        let mut overlay = StaticOverlay::deterministic(&ring);
+        overlay.add_node(NodeId::new(18));
+        overlay.add_node(NodeId::new(19));
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let report = disseminate_push_pull(
+            &overlay,
+            &RingCast::new(2),
+            ids[0],
+            PullConfig {
+                fanout: 1,
+                max_rounds: 1_000,
+            },
+            &mut rng,
+        );
+        assert_eq!(report.unreached_after_pull.len(), 2);
+        assert!(
+            report.pull_rounds <= 5,
+            "dry-round cutoff should stop early, ran {} rounds",
+            report.pull_rounds
+        );
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let overlay = warmed_overlay(300, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let origin = overlay.snapshot().live_nodes().next().unwrap();
+        let report = disseminate_push_pull(
+            &overlay,
+            &RandCast::new(2),
+            origin,
+            PullConfig {
+                fanout: 1,
+                max_rounds: 50,
+            },
+            &mut rng,
+        );
+        assert_eq!(
+            report.reached_after_pull + report.unreached_after_pull.len(),
+            report.push.population
+        );
+        assert_eq!(report.per_round_new.len(), report.pull_rounds);
+        assert!(report.pull_transfers <= report.pull_requests);
+        assert!(report.hit_ratio() >= report.push.hit_ratio());
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests for the dissemination protocols and engine.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use hybridcast_core::engine::disseminate;
+use hybridcast_core::overlay::{Overlay, StaticOverlay};
+use hybridcast_core::protocols::{
+    DeterministicFlooding, Flooding, GossipTargetSelector, RandCast, RingCast,
+};
+use hybridcast_graph::{builders, connectivity, harary, NodeId};
+
+fn ids(count: u64) -> Vec<NodeId> {
+    (0..count).map(NodeId::new).collect()
+}
+
+/// Builds a RingCast-shaped overlay: a bidirectional ring as d-links plus a
+/// random out-degree graph as r-links.
+fn hybrid_overlay(n: u64, degree: usize, seed: u64) -> StaticOverlay {
+    let nodes = ids(n);
+    let ring = builders::bidirectional_ring(&nodes);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let random = builders::random_out_degree(&nodes, degree, &mut rng);
+    StaticOverlay::from_graphs(&ring, &random)
+}
+
+proptest! {
+    /// Flooding over any strongly connected d-link overlay reaches every
+    /// node, and uses exactly edge_count messages.
+    #[test]
+    fn flooding_is_complete_on_connected_overlays(n in 2u64..120, seed in 0u64..100) {
+        let nodes = ids(n);
+        let ring = builders::bidirectional_ring(&nodes);
+        prop_assert!(connectivity::is_strongly_connected(&ring));
+        let overlay = StaticOverlay::deterministic(&ring);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let origin = nodes[(seed % n) as usize];
+        let report = disseminate(&overlay, &DeterministicFlooding::new(), origin, &mut rng);
+        prop_assert!(report.is_complete());
+        prop_assert_eq!(report.messages_to_dead, 0);
+        // Flooding sends over every outgoing link except the incoming one:
+        // total = sum over nodes of (out_degree - incoming_used) which for a
+        // bidirectional ring is exactly edge_count - (reached - 1) ... the
+        // simpler invariant: virgin messages = N - 1.
+        prop_assert_eq!(report.messages_to_virgin, n as usize - 1);
+    }
+
+    /// RingCast is complete on any failure-free hybrid overlay regardless of
+    /// fanout — the paper's headline determinism claim.
+    #[test]
+    fn ringcast_is_always_complete_without_failures(
+        n in 3u64..150,
+        fanout in 1usize..8,
+        degree in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        let overlay = hybrid_overlay(n, degree, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1));
+        let origin = NodeId::new(seed % n);
+        let report = disseminate(&overlay, &RingCast::new(fanout), origin, &mut rng);
+        prop_assert!(report.is_complete(), "missed {} of {}", report.population - report.reached, report.population);
+    }
+
+    /// The fundamental message-accounting identities hold for every protocol
+    /// and every overlay: virgin messages = reached - 1, and the per-hop
+    /// series sum to the totals.
+    #[test]
+    fn message_accounting_identities(
+        n in 3u64..100,
+        fanout in 1usize..6,
+        degree in 1usize..8,
+        seed in 0u64..100,
+        protocol_idx in 0usize..4,
+    ) {
+        let overlay = hybrid_overlay(n, degree, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(2));
+        let origin = NodeId::new(seed % n);
+        let protocol: Box<dyn GossipTargetSelector> = match protocol_idx {
+            0 => Box::new(RandCast::new(fanout)),
+            1 => Box::new(RingCast::new(fanout)),
+            2 => Box::new(Flooding::new()),
+            _ => Box::new(DeterministicFlooding::new()),
+        };
+        let report = disseminate(&overlay, protocol.as_ref(), origin, &mut rng);
+
+        prop_assert_eq!(report.messages_to_virgin, report.reached - 1,
+            "every node except the origin is notified by exactly one virgin message");
+        prop_assert_eq!(report.per_hop_new.iter().sum::<usize>(), report.reached);
+        prop_assert_eq!(
+            report.per_hop_messages.iter().sum::<usize>() <= report.total_messages(),
+            true,
+            "per-hop messages never exceed the total (trailing hops are trimmed)"
+        );
+        prop_assert_eq!(report.reached + report.unreached.len(), report.population);
+        prop_assert!(report.hit_ratio() >= 0.0 && report.hit_ratio() <= 1.0);
+        // The forwarding load of any node is bounded by its total out-links.
+        for (&node, &sent) in &report.forwarded_counts {
+            let capacity = overlay.r_links(node).len() + overlay.d_links(node).len();
+            prop_assert!(sent <= capacity, "{} forwarded {} > {} links", node, sent, capacity);
+        }
+    }
+
+    /// RingCast never performs worse than RandCast on the same overlay with
+    /// the same fanout (its hit count is at least as high), because the
+    /// deterministic links only add coverage.
+    #[test]
+    fn ringcast_dominates_randcast(
+        n in 10u64..120,
+        fanout in 2usize..6,
+        seed in 0u64..60,
+    ) {
+        let overlay = hybrid_overlay(n, 8, seed);
+        let origin = NodeId::new(seed % n);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(1000 + seed);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(1000 + seed);
+        let rand_report = disseminate(&overlay, &RandCast::new(fanout), origin, &mut rng_a);
+        let ring_report = disseminate(&overlay, &RingCast::new(fanout), origin, &mut rng_b);
+        prop_assert!(ring_report.reached >= rand_report.reached);
+        prop_assert!(ring_report.is_complete());
+    }
+
+    /// Selector contract: no protocol ever returns the sender, the node
+    /// itself, duplicates, or more than fanout + d-link-count targets.
+    #[test]
+    fn selector_contract(
+        n in 5u64..80,
+        fanout in 1usize..10,
+        degree in 1usize..12,
+        seed in 0u64..100,
+    ) {
+        let overlay = hybrid_overlay(n, degree, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let node = NodeId::new(seed % n);
+        let from = overlay.d_links(node).first().copied();
+        for protocol in [&RandCast::new(fanout) as &dyn GossipTargetSelector, &RingCast::new(fanout)] {
+            let targets = protocol.select_targets(&overlay, node, from, &mut rng);
+            prop_assert!(!targets.contains(&node));
+            if let Some(sender) = from {
+                prop_assert!(!targets.contains(&sender));
+            }
+            let mut dedup = targets.clone();
+            dedup.sort();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), targets.len(), "duplicate targets");
+            prop_assert!(targets.len() <= fanout + overlay.d_links(node).len());
+        }
+    }
+
+    /// Killing nodes after freezing the overlay never increases the reach of
+    /// RandCast, and RingCast still reaches every node of any ring segment
+    /// it enters (the partitioned-ring argument of Figure 4).
+    #[test]
+    fn ringcast_covers_whole_ring_segments_under_failures(
+        n in 20u64..100,
+        kill in 1usize..5,
+        seed in 0u64..50,
+    ) {
+        let overlay_nodes = ids(n);
+        let ring = builders::bidirectional_ring(&overlay_nodes);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let random = builders::random_out_degree(&overlay_nodes, 6, &mut rng);
+        let mut overlay = StaticOverlay::from_graphs(&ring, &random);
+        // Kill `kill` nodes other than the origin.
+        for k in 0..kill {
+            overlay.kill_node(NodeId::new((seed + 7 * k as u64 + 1) % n));
+        }
+        let origin = NodeId::new(0);
+        prop_assume!(overlay.is_live(origin));
+        let report = disseminate(&overlay, &RingCast::new(3), origin, &mut rng);
+
+        // Every live node adjacent (on the ring) to a reached live node must
+        // have been reached too: RingCast exhausts ring segments.
+        for &node in &overlay_nodes {
+            if !overlay.is_live(node) || report.unreached.contains(&node) {
+                continue;
+            }
+            for neighbour in [
+                NodeId::new((node.as_u64() + 1) % n),
+                NodeId::new((node.as_u64() + n - 1) % n),
+            ] {
+                if overlay.is_live(neighbour) {
+                    prop_assert!(
+                        !report.unreached.contains(&neighbour),
+                        "live ring neighbour {} of reached node {} was missed",
+                        neighbour,
+                        node
+                    );
+                }
+            }
+        }
+    }
+
+    /// Flooding over a Harary graph H(n, t) still reaches everyone after
+    /// t - 1 node failures (Section 3's reliability claim).
+    #[test]
+    fn harary_flooding_survives_failures(
+        n in 8usize..40,
+        t in 2usize..5,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(t < n);
+        let nodes = ids(n as u64);
+        let h = harary::harary_graph(&nodes, t);
+        let mut overlay = StaticOverlay::deterministic(&h);
+        // Kill exactly t - 1 distinct nodes, none of which is the origin (node 0).
+        let mut killed = 0usize;
+        let mut candidate = 1 + (seed as usize % (n - 1));
+        while killed < t - 1 {
+            if candidate != 0 && overlay.kill_node(NodeId::new(candidate as u64)) {
+                killed += 1;
+            }
+            candidate = (candidate + 1) % n;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let report = disseminate(&overlay, &DeterministicFlooding::new(), NodeId::new(0), &mut rng);
+        prop_assert!(report.is_complete(),
+            "H({}, {}) flooding missed {} nodes after {} failures",
+            n, t, report.unreached.len(), t - 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Directed-graph substrate for the hybridcast dissemination library.
+//!
+//! This crate provides the graph-theoretic foundation that the rest of the
+//! workspace builds on:
+//!
+//! * [`NodeId`] — a lightweight identifier for participating nodes,
+//! * [`DiGraph`] — a directed graph (overlay snapshot) with adjacency lists,
+//! * connectivity algorithms ([`connectivity`]) — strongly connected
+//!   components (Tarjan), reachability, minimum cut of ring-like graphs,
+//! * overlay constructors ([`builders`]) — ring, star, clique, random
+//!   regular out-degree graphs, balanced trees,
+//! * [`harary`] — Harary graphs `H(n, t)`, the minimal graphs that stay
+//!   connected after `t - 1` node or link failures,
+//! * [`stats`] — degree distributions and other structural statistics used
+//!   by the evaluation harness.
+//!
+//! The paper reproduced by this workspace ("Hybrid Dissemination", Middleware
+//! 2007) relies on the observation that a set of deterministic links forming
+//! a strongly connected directed graph guarantees complete dissemination by
+//! flooding; this crate supplies both the constructions (bidirectional ring,
+//! Harary graphs) and the verification tools (strong connectivity) for that
+//! claim.
+//!
+//! # Example
+//!
+//! ```
+//! use hybridcast_graph::{builders, connectivity, NodeId};
+//!
+//! // A bidirectional ring over 8 nodes is strongly connected and
+//! // survives any single node failure.
+//! let ids: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+//! let ring = builders::bidirectional_ring(&ids);
+//! assert!(connectivity::is_strongly_connected(&ring));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod connectivity;
+pub mod digraph;
+pub mod harary;
+pub mod node;
+pub mod stats;
+
+pub use digraph::DiGraph;
+pub use node::NodeId;

@@ -1,0 +1,250 @@
+//! Structural statistics of overlay graphs.
+//!
+//! The evaluation section of the paper relies on a handful of structural
+//! measures: in-degree distributions (a new node's chance of being notified
+//! is tied to its in-degree, Section 7.3), average path lengths (a proxy for
+//! dissemination speed) and clustering (to confirm that the peer-sampling
+//! overlay resembles a random graph). This module computes them.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::connectivity::bfs_distances;
+use crate::digraph::DiGraph;
+use crate::node::NodeId;
+
+/// Summary statistics of a sample of `usize` observations (degrees, hop
+/// counts, message counts, ...).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Smallest observation (0 when the sample is empty).
+    pub min: usize,
+    /// Largest observation (0 when the sample is empty).
+    pub max: usize,
+    /// Arithmetic mean (0.0 when the sample is empty).
+    pub mean: f64,
+    /// Population standard deviation (0.0 when the sample is empty).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over the given observations.
+    pub fn of<I: IntoIterator<Item = usize>>(values: I) -> Self {
+        let values: Vec<usize> = values.into_iter().collect();
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let count = values.len();
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let mean = values.iter().sum::<usize>() as f64 / count as f64;
+        let variance = values
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / count as f64;
+        Summary {
+            count,
+            min,
+            max,
+            mean,
+            std_dev: variance.sqrt(),
+        }
+    }
+}
+
+/// Returns the in-degree distribution of the graph as a histogram:
+/// `degree -> number of nodes with that in-degree`.
+pub fn in_degree_histogram(graph: &DiGraph) -> BTreeMap<usize, usize> {
+    let mut histogram = BTreeMap::new();
+    for (_, degree) in graph.in_degrees() {
+        *histogram.entry(degree).or_insert(0) += 1;
+    }
+    histogram
+}
+
+/// Returns the out-degree distribution of the graph as a histogram.
+pub fn out_degree_histogram(graph: &DiGraph) -> BTreeMap<usize, usize> {
+    let mut histogram = BTreeMap::new();
+    for node in graph.nodes() {
+        *histogram.entry(graph.out_degree(node)).or_insert(0) += 1;
+    }
+    histogram
+}
+
+/// Summary of in-degrees over all nodes.
+pub fn in_degree_summary(graph: &DiGraph) -> Summary {
+    Summary::of(graph.in_degrees().into_values())
+}
+
+/// Summary of out-degrees over all nodes.
+pub fn out_degree_summary(graph: &DiGraph) -> Summary {
+    Summary::of(graph.nodes().map(|n| graph.out_degree(n)).collect::<Vec<_>>())
+}
+
+/// Average shortest-path hop count from `start` to every node it can reach
+/// (excluding itself). Returns `None` when `start` reaches no other node.
+pub fn average_path_length_from(graph: &DiGraph, start: NodeId) -> Option<f64> {
+    let distances = bfs_distances(graph, start);
+    let reachable: Vec<usize> = distances
+        .iter()
+        .filter(|&(&node, _)| node != start)
+        .map(|(_, &d)| d)
+        .collect();
+    if reachable.is_empty() {
+        return None;
+    }
+    Some(reachable.iter().sum::<usize>() as f64 / reachable.len() as f64)
+}
+
+/// The eccentricity of `start`: the largest shortest-path distance to any
+/// node reachable from it. Returns `None` when nothing is reachable.
+pub fn eccentricity(graph: &DiGraph, start: NodeId) -> Option<usize> {
+    bfs_distances(graph, start)
+        .into_iter()
+        .filter(|&(node, _)| node != start)
+        .map(|(_, d)| d)
+        .max()
+}
+
+/// The local clustering coefficient of `node`: the fraction of ordered pairs
+/// of distinct successors of `node` that are themselves connected by an
+/// edge. Returns `None` for nodes with fewer than two successors.
+pub fn clustering_coefficient(graph: &DiGraph, node: NodeId) -> Option<f64> {
+    let successors = graph.successors_vec(node);
+    let k = successors.len();
+    if k < 2 {
+        return None;
+    }
+    let mut linked_pairs = 0usize;
+    for &a in &successors {
+        for &b in &successors {
+            if a != b && graph.has_edge(a, b) {
+                linked_pairs += 1;
+            }
+        }
+    }
+    Some(linked_pairs as f64 / (k * (k - 1)) as f64)
+}
+
+/// The average local clustering coefficient over all nodes with at least two
+/// successors. Returns `None` when no node qualifies.
+///
+/// Overlays produced by a healthy peer sampling service approach the
+/// clustering of a random graph (`out_degree / n`), which is one of the
+/// sanity checks the membership test-suite performs.
+pub fn average_clustering_coefficient(graph: &DiGraph) -> Option<f64> {
+    let coefficients: Vec<f64> = graph
+        .nodes()
+        .filter_map(|n| clustering_coefficient(graph, n))
+        .collect();
+    if coefficients.is_empty() {
+        return None;
+    }
+    Some(coefficients.iter().sum::<f64>() / coefficients.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ids(count: u64) -> Vec<NodeId> {
+        (0..count).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn summary_of_empty_sample() {
+        let s = Summary::of(Vec::new());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(vec![2, 4, 4, 4, 5, 5, 7, 9]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 9);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_degree_histograms() {
+        let ring = builders::bidirectional_ring(&ids(12));
+        let in_hist = in_degree_histogram(&ring);
+        let out_hist = out_degree_histogram(&ring);
+        assert_eq!(in_hist, BTreeMap::from([(2, 12)]));
+        assert_eq!(out_hist, BTreeMap::from([(2, 12)]));
+        assert_eq!(in_degree_summary(&ring).mean, 2.0);
+        assert_eq!(out_degree_summary(&ring).std_dev, 0.0);
+    }
+
+    #[test]
+    fn star_in_degree_histogram() {
+        let leaves = ids(10)[1..].to_vec();
+        let g = builders::star(n(0), &leaves);
+        let hist = in_degree_histogram(&g);
+        assert_eq!(hist[&1], 9, "leaves have in-degree 1");
+        assert_eq!(hist[&9], 1, "center has in-degree 9");
+    }
+
+    #[test]
+    fn path_length_on_ring() {
+        // In a bidirectional ring of 8, distances from any node are
+        // 1,1,2,2,3,3,4 -> average 16/7.
+        let ring = builders::bidirectional_ring(&ids(8));
+        let apl = average_path_length_from(&ring, n(0)).unwrap();
+        assert!((apl - 16.0 / 7.0).abs() < 1e-12);
+        assert_eq!(eccentricity(&ring, n(0)), Some(4));
+    }
+
+    #[test]
+    fn path_length_unreachable() {
+        let mut g = DiGraph::new();
+        g.add_node(n(0));
+        g.add_node(n(1));
+        assert_eq!(average_path_length_from(&g, n(0)), None);
+        assert_eq!(eccentricity(&g, n(0)), None);
+    }
+
+    #[test]
+    fn clique_clustering_is_one() {
+        let g = builders::clique(&ids(5));
+        assert_eq!(clustering_coefficient(&g, n(0)), Some(1.0));
+        assert_eq!(average_clustering_coefficient(&g), Some(1.0));
+    }
+
+    #[test]
+    fn ring_clustering_is_zero() {
+        let ring = builders::bidirectional_ring(&ids(10));
+        assert_eq!(clustering_coefficient(&ring, n(0)), Some(0.0));
+        assert_eq!(average_clustering_coefficient(&ring), Some(0.0));
+    }
+
+    #[test]
+    fn clustering_undefined_for_low_degree() {
+        let mut g = DiGraph::new();
+        g.add_edge(n(0), n(1));
+        assert_eq!(clustering_coefficient(&g, n(0)), None);
+        assert_eq!(average_clustering_coefficient(&g), None);
+    }
+}

@@ -1,0 +1,484 @@
+//! The generic peer-sampling framework of Jelasity et al. (Middleware 2004),
+//! which the paper cites as reference [10] for the PEER SAMPLING SERVICE.
+//!
+//! The framework describes a whole design space of gossip-based peer
+//! sampling protocols through three policy dimensions:
+//!
+//! * **peer selection** ([`PeerSelection`]) — who to gossip with: a random
+//!   view entry (`Rand`) or the oldest one (`Tail`);
+//! * **view propagation** ([`ViewPropagation`]) — `Push` (send your
+//!   descriptors, expect nothing back) or `PushPull` (exchange both ways);
+//! * **view selection** ([`ViewSelection`]) — how the merged view is pruned
+//!   back to capacity: `Blind` (random), `Healer` (drop the oldest
+//!   descriptors first) or `Swapper` (drop the descriptors just sent).
+//!
+//! Cyclon (implemented in [`crate::cyclon`]) corresponds roughly to
+//! *(tail, push-pull, swapper)* with an additional in-place-replacement
+//! rule. The generic node here, [`FrameworkNode`], lets experiments swap in
+//! any other point of the design space as the r-link provider — useful for
+//! checking that RandCast/RingCast results do not hinge on the particular
+//! peer-sampling instance, and for reproducing the framework's own known
+//! behaviours (e.g. `Blind` selection producing star-like in-degree
+//! distributions).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hybridcast_graph::NodeId;
+
+use crate::descriptor::Descriptor;
+use crate::sampling::PeerSampling;
+use crate::view::View;
+
+/// Who a node gossips with in each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerSelection {
+    /// A uniformly random view entry.
+    Rand,
+    /// The entry with the highest age (bounds staleness, heals faster).
+    Tail,
+}
+
+/// How descriptors travel during an exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViewPropagation {
+    /// The initiator pushes descriptors; the peer answers nothing.
+    Push,
+    /// Both sides exchange descriptors (the usual choice; push-only halves
+    /// the information flow and converges noticeably slower).
+    PushPull,
+}
+
+/// How a node prunes its merged view back to capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViewSelection {
+    /// Drop uniformly random entries.
+    Blind,
+    /// Drop the oldest entries first (self-healing under failures).
+    Healer,
+    /// Drop the entries that were just sent to the peer (keeps the overlay
+    /// close to a random graph; Cyclon's choice).
+    Swapper,
+}
+
+/// A full policy triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingPolicy {
+    /// Peer-selection dimension.
+    pub peer_selection: PeerSelection,
+    /// View-propagation dimension.
+    pub view_propagation: ViewPropagation,
+    /// View-selection dimension.
+    pub view_selection: ViewSelection,
+}
+
+impl SamplingPolicy {
+    /// The policy closest to Cyclon: tail peer selection, push-pull
+    /// propagation, swapper view selection.
+    pub fn cyclon_like() -> Self {
+        SamplingPolicy {
+            peer_selection: PeerSelection::Tail,
+            view_propagation: ViewPropagation::PushPull,
+            view_selection: ViewSelection::Swapper,
+        }
+    }
+
+    /// The most failure-tolerant corner of the design space: tail,
+    /// push-pull, healer.
+    pub fn healer() -> Self {
+        SamplingPolicy {
+            peer_selection: PeerSelection::Tail,
+            view_propagation: ViewPropagation::PushPull,
+            view_selection: ViewSelection::Healer,
+        }
+    }
+
+    /// The simplest corner: random peer, push-pull, blind pruning.
+    pub fn blind() -> Self {
+        SamplingPolicy {
+            peer_selection: PeerSelection::Rand,
+            view_propagation: ViewPropagation::PushPull,
+            view_selection: ViewSelection::Blind,
+        }
+    }
+}
+
+/// Pending state of an exchange this node initiated: what was sent, to whom.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingExchange<P> {
+    /// The peer the exchange was sent to.
+    pub target: NodeId,
+    /// The descriptors sent.
+    pub sent: Vec<Descriptor<P>>,
+}
+
+/// One node running the generic peer-sampling framework.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameworkNode<P> {
+    id: NodeId,
+    profile: P,
+    policy: SamplingPolicy,
+    view: View<P>,
+    exchange_len: usize,
+}
+
+impl<P: Clone> FrameworkNode<P> {
+    /// Creates a node with an empty view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `view_len == 0` or `exchange_len == 0`.
+    pub fn new(
+        id: NodeId,
+        profile: P,
+        policy: SamplingPolicy,
+        view_len: usize,
+        exchange_len: usize,
+    ) -> Self {
+        assert!(exchange_len > 0, "exchange length must be positive");
+        FrameworkNode {
+            id,
+            profile,
+            policy,
+            view: View::new(id, view_len),
+            exchange_len: exchange_len.min(view_len),
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The policy this node runs.
+    pub fn policy(&self) -> SamplingPolicy {
+        self.policy
+    }
+
+    /// Read access to the current view.
+    pub fn view(&self) -> &View<P> {
+        &self.view
+    }
+
+    /// Adds a bootstrap contact.
+    pub fn add_bootstrap_contact(&mut self, contact: Descriptor<P>) -> bool {
+        self.view.insert_or_refresh(contact)
+    }
+
+    /// Starts a new cycle: ages every descriptor.
+    pub fn begin_cycle(&mut self) {
+        self.view.increment_ages();
+    }
+
+    /// Selects the gossip partner for this cycle according to the policy.
+    pub fn select_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        match self.policy.peer_selection {
+            PeerSelection::Rand => self.view.random_id(rng),
+            PeerSelection::Tail => self.view.oldest(),
+        }
+    }
+
+    /// Builds the descriptors to send to `target`: a fresh self-descriptor
+    /// plus up to `exchange_len - 1` random view entries.
+    pub fn build_payload<R: Rng + ?Sized>(
+        &self,
+        target: NodeId,
+        rng: &mut R,
+    ) -> Vec<Descriptor<P>> {
+        let mut payload = self
+            .view
+            .random_descriptors(self.exchange_len.saturating_sub(1), &[target], rng);
+        payload.push(Descriptor::new(self.id, self.profile.clone()));
+        payload
+    }
+
+    /// Initiates an exchange: picks a peer and the payload for it.
+    /// Returns `None` when the view is empty.
+    pub fn initiate<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> Option<(NodeId, Vec<Descriptor<P>>)> {
+        let target = self.select_peer(rng)?;
+        let payload = self.build_payload(target, rng);
+        Some((target, payload))
+    }
+
+    /// Handles an incoming exchange: merges the received descriptors and —
+    /// under push-pull propagation — returns the reply payload.
+    pub fn handle_request<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        received: &[Descriptor<P>],
+        rng: &mut R,
+    ) -> Vec<Descriptor<P>> {
+        let reply = match self.policy.view_propagation {
+            ViewPropagation::Push => Vec::new(),
+            ViewPropagation::PushPull => self.build_payload(from, rng),
+        };
+        self.merge(received, &reply, rng);
+        reply
+    }
+
+    /// Handles the reply to an exchange this node initiated.
+    pub fn handle_response<R: Rng + ?Sized>(
+        &mut self,
+        pending: &PendingExchange<P>,
+        received: &[Descriptor<P>],
+        rng: &mut R,
+    ) {
+        self.merge(received, &pending.sent, rng);
+    }
+
+    /// Records a failed exchange. Under `Tail` peer selection the
+    /// unresponsive peer is dropped (it was the most suspicious entry
+    /// anyway); under `Rand` selection nothing is done.
+    pub fn exchange_failed(&mut self, pending: &PendingExchange<P>) {
+        if self.policy.peer_selection == PeerSelection::Tail {
+            self.view.remove(pending.target);
+        }
+    }
+
+    /// Merges `received` into the view and prunes back to capacity
+    /// according to the view-selection policy. `sent` is needed by the
+    /// `Swapper` policy (it drops exactly what was shipped out).
+    fn merge<R: Rng + ?Sized>(
+        &mut self,
+        received: &[Descriptor<P>],
+        sent: &[Descriptor<P>],
+        rng: &mut R,
+    ) {
+        // Collect current + received, dedup by id keeping the youngest.
+        let mut pool: Vec<Descriptor<P>> = self.view.iter().cloned().collect();
+        for d in received {
+            if d.id == self.id {
+                continue;
+            }
+            match pool.iter_mut().find(|existing| existing.id == d.id) {
+                Some(existing) => {
+                    if d.age < existing.age {
+                        *existing = d.clone();
+                    }
+                }
+                None => pool.push(d.clone()),
+            }
+        }
+
+        let capacity = self.view.capacity();
+        while pool.len() > capacity {
+            let victim_index = match self.policy.view_selection {
+                ViewSelection::Blind => rng.gen_range(0..pool.len()),
+                ViewSelection::Healer => pool
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, d)| d.age)
+                    .map(|(i, _)| i)
+                    .expect("pool is non-empty"),
+                ViewSelection::Swapper => {
+                    // Prefer dropping a descriptor we just sent away; fall
+                    // back to the oldest when none is left in the pool.
+                    pool.iter()
+                        .enumerate()
+                        .find(|(_, d)| {
+                            sent.iter().any(|s| s.id == d.id) && d.id != self.id
+                        })
+                        .map(|(i, _)| i)
+                        .unwrap_or_else(|| {
+                            pool.iter()
+                                .enumerate()
+                                .max_by_key(|(_, d)| d.age)
+                                .map(|(i, _)| i)
+                                .expect("pool is non-empty")
+                        })
+                }
+            };
+            pool.swap_remove(victim_index);
+        }
+        self.view.replace_with(pool);
+    }
+}
+
+impl<P: Clone> PeerSampling for FrameworkNode<P> {
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn known_peers(&self) -> Vec<NodeId> {
+        self.view.node_ids()
+    }
+
+    fn sample_peers<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        exclude: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        self.view.random_ids(count, exclude, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn node(id: u64, policy: SamplingPolicy) -> FrameworkNode<()> {
+        FrameworkNode::new(n(id), (), policy, 6, 3)
+    }
+
+    /// Runs `cycles` gossip cycles over a small population under the given
+    /// policy and returns the nodes.
+    fn converge(policy: SamplingPolicy, population: u64, cycles: usize) -> Vec<FrameworkNode<()>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut nodes: Vec<FrameworkNode<()>> =
+            (0..population).map(|i| node(i, policy)).collect();
+        for node in nodes.iter_mut().skip(1) {
+            node.add_bootstrap_contact(Descriptor::new(n(0), ()));
+        }
+        for _ in 0..cycles {
+            for i in 0..population as usize {
+                nodes[i].begin_cycle();
+                if let Some((target, payload)) = nodes[i].initiate(&mut rng) {
+                    let pending = PendingExchange {
+                        target,
+                        sent: payload.clone(),
+                    };
+                    let from = nodes[i].id();
+                    let reply =
+                        nodes[target.as_index()].handle_request(from, &payload, &mut rng);
+                    nodes[i].handle_response(&pending, &reply, &mut rng);
+                }
+            }
+        }
+        nodes
+    }
+
+    #[test]
+    #[should_panic(expected = "exchange length")]
+    fn zero_exchange_len_panics() {
+        FrameworkNode::new(n(0), (), SamplingPolicy::cyclon_like(), 5, 0);
+    }
+
+    #[test]
+    fn policy_presets() {
+        assert_eq!(
+            SamplingPolicy::cyclon_like().view_selection,
+            ViewSelection::Swapper
+        );
+        assert_eq!(SamplingPolicy::healer().view_selection, ViewSelection::Healer);
+        assert_eq!(SamplingPolicy::blind().peer_selection, PeerSelection::Rand);
+    }
+
+    #[test]
+    fn peer_selection_follows_policy() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut tail = node(0, SamplingPolicy::cyclon_like());
+        tail.add_bootstrap_contact(Descriptor::with_age(n(1), 1, ()));
+        tail.add_bootstrap_contact(Descriptor::with_age(n(2), 9, ()));
+        assert_eq!(tail.select_peer(&mut rng), Some(n(2)), "tail picks the oldest");
+
+        let empty = node(3, SamplingPolicy::blind());
+        assert_eq!(empty.select_peer(&mut rng), None);
+    }
+
+    #[test]
+    fn push_propagation_returns_no_reply() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut push_node = node(
+            0,
+            SamplingPolicy {
+                view_propagation: ViewPropagation::Push,
+                ..SamplingPolicy::cyclon_like()
+            },
+        );
+        let reply = push_node.handle_request(n(1), &[Descriptor::new(n(1), ())], &mut rng);
+        assert!(reply.is_empty());
+        assert!(push_node.view().contains(n(1)), "received entry still merged");
+    }
+
+    #[test]
+    fn all_policies_preserve_view_invariants_and_connect_the_overlay() {
+        for policy in [
+            SamplingPolicy::cyclon_like(),
+            SamplingPolicy::healer(),
+            SamplingPolicy::blind(),
+        ] {
+            let nodes = converge(policy, 30, 40);
+            for node in &nodes {
+                let ids = node.view().node_ids();
+                let mut dedup = ids.clone();
+                dedup.sort();
+                dedup.dedup();
+                assert_eq!(ids.len(), dedup.len(), "{policy:?}: duplicates");
+                assert!(!node.view().contains(node.id()), "{policy:?}: self entry");
+                assert!(node.view().len() <= node.view().capacity());
+                assert!(
+                    node.view().len() >= 3,
+                    "{policy:?}: view of {} barely filled ({})",
+                    node.id(),
+                    node.view().len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn healer_flushes_dead_descriptors_faster_than_blind() {
+        // Age a dead descriptor artificially and check the healer drops it
+        // during pruning while blind may keep it.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut healer = node(0, SamplingPolicy::healer());
+        for i in 1..=6 {
+            healer.add_bootstrap_contact(Descriptor::with_age(n(i), (i * 10) as u32, ()));
+        }
+        // Merging three new entries overflows the capacity-6 view by three;
+        // the healer must evict the three oldest (40, 50, 60).
+        healer.merge(
+            &[
+                Descriptor::new(n(7), ()),
+                Descriptor::new(n(8), ()),
+                Descriptor::new(n(9), ()),
+            ],
+            &[],
+            &mut rng,
+        );
+        assert!(!healer.view().contains(n(6)));
+        assert!(!healer.view().contains(n(5)));
+        assert!(!healer.view().contains(n(4)));
+        assert!(healer.view().contains(n(1)));
+        assert!(healer.view().contains(n(9)));
+    }
+
+    #[test]
+    fn exchange_failure_handling_depends_on_peer_selection() {
+        let mut tail = node(0, SamplingPolicy::cyclon_like());
+        tail.add_bootstrap_contact(Descriptor::new(n(1), ()));
+        tail.exchange_failed(&PendingExchange {
+            target: n(1),
+            sent: Vec::new(),
+        });
+        assert!(!tail.view().contains(n(1)), "tail drops the dead peer");
+
+        let mut rand = node(2, SamplingPolicy::blind());
+        rand.add_bootstrap_contact(Descriptor::new(n(1), ()));
+        rand.exchange_failed(&PendingExchange {
+            target: n(1),
+            sent: Vec::new(),
+        });
+        assert!(rand.view().contains(n(1)), "rand keeps it (will retry later)");
+    }
+
+    #[test]
+    fn implements_peer_sampling() {
+        let nodes = converge(SamplingPolicy::cyclon_like(), 20, 30);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let sample = nodes[5].sample_peers(3, &[], &mut rng);
+        assert_eq!(sample.len(), 3);
+        assert_eq!(nodes[5].local_id(), n(5));
+        assert!(!nodes[5].known_peers().is_empty());
+    }
+}

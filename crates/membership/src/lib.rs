@@ -1,0 +1,58 @@
+//! Epidemic membership management for the hybridcast workspace.
+//!
+//! Hybrid dissemination protocols (Section 5 of the Middleware 2007 paper)
+//! need two kinds of links between nodes:
+//!
+//! * **r-links** — uniformly random links, supplied by a *peer sampling
+//!   service*. This crate implements **Cyclon** ([`cyclon::CyclonNode`]), the
+//!   peer-sampling instance used by the paper: nodes periodically *shuffle*
+//!   part of their view with a neighbour, keeping the overlay close to a
+//!   random graph.
+//! * **d-links** — deterministic links forming a strongly connected
+//!   structure; RingCast uses a global bidirectional ring. The ring is built
+//!   and maintained by **Vicinity** ([`vicinity::VicinityNode`]), a
+//!   proximity-driven topology-construction protocol: nodes keep the peers
+//!   *closest* to them in an (arbitrary) circular identifier space, and the
+//!   two closest — one on each side — become the ring neighbours.
+//!
+//! Both protocols are *cycle-driven*: once every cycle a node initiates an
+//! exchange with one selected peer. The types here expose the three halves
+//! of an exchange (`initiate…`, `handle…request`, `handle…response`) so that
+//! the same implementation can be driven by the deterministic simulator
+//! (`hybridcast-sim`) or by a real transport (`hybridcast-net`).
+//!
+//! # Quick example
+//!
+//! ```
+//! use hybridcast_membership::cyclon::CyclonNode;
+//! use hybridcast_membership::descriptor::Descriptor;
+//! use hybridcast_graph::NodeId;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! // Node 1 boots knowing only node 0 (star-topology bootstrap).
+//! let mut node = CyclonNode::new(NodeId::new(1), (), 20, 5);
+//! node.add_bootstrap_contact(Descriptor::new(NodeId::new(0), ()));
+//!
+//! node.begin_cycle();
+//! let (target, payload) = node.initiate_shuffle(&mut rng).expect("has a contact");
+//! assert_eq!(target, NodeId::new(0));
+//! assert!(payload.iter().any(|d| d.id == NodeId::new(1)), "always advertises itself");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cyclon;
+pub mod descriptor;
+pub mod framework;
+pub mod proximity;
+pub mod sampling;
+pub mod vicinity;
+pub mod view;
+
+pub use cyclon::CyclonNode;
+pub use descriptor::Descriptor;
+pub use sampling::PeerSampling;
+pub use view::View;
+pub use vicinity::VicinityNode;

@@ -1,0 +1,125 @@
+//! The peer sampling service abstraction.
+//!
+//! The RandCast and RingCast dissemination protocols only need a small,
+//! continuously refreshed random sample of the network (the r-links). This
+//! trait captures that requirement so that the dissemination layer does not
+//! depend on a particular membership protocol: Cyclon is the instance used
+//! throughout the paper and this workspace, but any implementation of
+//! [`PeerSampling`] can be plugged in (e.g. a static random overlay in unit
+//! tests).
+
+use rand::Rng;
+
+use hybridcast_graph::NodeId;
+
+/// A local view over a peer sampling service, as seen by one node.
+///
+/// Implementations return peers from the node's current partial view; the
+/// sampling quality (how close the overlay is to a uniform random graph) is
+/// the responsibility of the underlying protocol.
+pub trait PeerSampling {
+    /// The node this sampler belongs to.
+    fn local_id(&self) -> NodeId;
+
+    /// All peers currently known to the sampler (the raw partial view).
+    fn known_peers(&self) -> Vec<NodeId>;
+
+    /// Up to `count` distinct peers chosen uniformly at random from the
+    /// current view, never including `exclude` entries or the local node.
+    fn sample_peers<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        exclude: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<NodeId>;
+
+    /// Convenience: a single random peer, if the view is non-empty.
+    fn sample_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        self.sample_peers(1, &[], rng).into_iter().next()
+    }
+}
+
+/// A trivial [`PeerSampling`] implementation over a fixed peer list.
+///
+/// Useful in tests and in the deterministic baseline experiments where the
+/// overlay is frozen: the "view" is simply a static list of peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticSampler {
+    id: NodeId,
+    peers: Vec<NodeId>,
+}
+
+impl StaticSampler {
+    /// Creates a sampler for `id` over the given fixed peer list; `id`
+    /// itself and duplicates are filtered out.
+    pub fn new(id: NodeId, peers: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut filtered = Vec::new();
+        for p in peers {
+            if p != id && !filtered.contains(&p) {
+                filtered.push(p);
+            }
+        }
+        StaticSampler { id, peers: filtered }
+    }
+}
+
+impl PeerSampling for StaticSampler {
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn known_peers(&self) -> Vec<NodeId> {
+        self.peers.clone()
+    }
+
+    fn sample_peers<R: Rng + ?Sized>(
+        &self,
+        count: usize,
+        exclude: &[NodeId],
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        use rand::seq::SliceRandom;
+        let mut candidates: Vec<NodeId> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|p| !exclude.contains(p))
+            .collect();
+        candidates.shuffle(rng);
+        candidates.truncate(count);
+        candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn static_sampler_filters_self_and_duplicates() {
+        let s = StaticSampler::new(n(0), [n(0), n(1), n(1), n(2)]);
+        assert_eq!(s.local_id(), n(0));
+        assert_eq!(s.known_peers(), vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn sampling_respects_count_and_exclusions() {
+        let s = StaticSampler::new(n(0), (1..=10).map(n));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sample = s.sample_peers(4, &[n(1), n(2)], &mut rng);
+        assert_eq!(sample.len(), 4);
+        assert!(!sample.contains(&n(1)));
+        assert!(!sample.contains(&n(2)));
+
+        let tiny = StaticSampler::new(n(0), [n(5)]);
+        assert_eq!(tiny.sample_peer(&mut rng), Some(n(5)));
+        let empty = StaticSampler::new(n(0), []);
+        assert_eq!(empty.sample_peer(&mut rng), None);
+    }
+}

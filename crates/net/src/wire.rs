@@ -1,0 +1,200 @@
+//! The wire format spoken between nodes.
+//!
+//! Frames carry the three protocol layers: Cyclon shuffles, Vicinity
+//! exchanges and dissemination pushes. Frames are serialized as JSON and,
+//! when travelling over a byte stream (TCP), length-prefixed with a 32-bit
+//! big-endian length so they can be reassembled from arbitrary read chunks.
+
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use hybridcast_core::message::Message;
+use hybridcast_graph::NodeId;
+use hybridcast_membership::descriptor::Descriptor;
+use hybridcast_membership::proximity::RingPosition;
+
+/// A descriptor as it travels on the wire: the peer's id, age and ring
+/// position.
+pub type WireDescriptor = Descriptor<RingPosition>;
+
+/// A protocol frame exchanged between two nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Cyclon shuffle request: the initiator offers `payload` descriptors.
+    CyclonRequest {
+        /// The initiating node.
+        from: NodeId,
+        /// Descriptors offered by the initiator (including itself, age 0).
+        payload: Vec<WireDescriptor>,
+    },
+    /// Cyclon shuffle reply.
+    CyclonResponse {
+        /// The replying node.
+        from: NodeId,
+        /// Descriptors returned by the responder.
+        payload: Vec<WireDescriptor>,
+    },
+    /// Vicinity exchange request.
+    VicinityRequest {
+        /// The initiating node.
+        from: NodeId,
+        /// The initiator's ring position (lets the responder rank its reply).
+        from_position: RingPosition,
+        /// Descriptors offered by the initiator.
+        payload: Vec<WireDescriptor>,
+    },
+    /// Vicinity exchange reply.
+    VicinityResponse {
+        /// The replying node.
+        from: NodeId,
+        /// Descriptors returned by the responder.
+        payload: Vec<WireDescriptor>,
+    },
+    /// A disseminated message pushed from `from`.
+    Dissemination {
+        /// The forwarding node (not necessarily the origin).
+        from: NodeId,
+        /// The message itself.
+        message: Message,
+    },
+    /// Orderly termination of the receiving node's event loop.
+    Shutdown,
+}
+
+impl Frame {
+    /// The sender of the frame, when it carries one.
+    pub fn sender(&self) -> Option<NodeId> {
+        match self {
+            Frame::CyclonRequest { from, .. }
+            | Frame::CyclonResponse { from, .. }
+            | Frame::VicinityRequest { from, .. }
+            | Frame::VicinityResponse { from, .. }
+            | Frame::Dissemination { from, .. } => Some(*from),
+            Frame::Shutdown => None,
+        }
+    }
+}
+
+/// Encodes a frame into `buf` as a 4-byte big-endian length followed by the
+/// JSON body.
+///
+/// # Panics
+///
+/// Panics if the frame fails to serialize (only possible with non-string map
+/// keys, which the frame types never contain).
+pub fn encode_frame(frame: &Frame, buf: &mut BytesMut) {
+    let body = serde_json::to_vec(frame).expect("frame serialization cannot fail");
+    buf.reserve(4 + body.len());
+    buf.put_u32(body.len() as u32);
+    buf.put_slice(&body);
+}
+
+/// Attempts to decode one length-prefixed frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer does not yet hold a complete frame
+/// (more bytes must be read from the stream first).
+///
+/// # Errors
+///
+/// Returns an error if the frame body is not valid JSON for a [`Frame`].
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Frame>, serde_json::Error> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    let body = buf.split_to(len);
+    serde_json::from_slice(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::CyclonRequest {
+                from: n(1),
+                payload: vec![Descriptor::new(n(1), 42)],
+            },
+            Frame::CyclonResponse {
+                from: n(2),
+                payload: vec![Descriptor::with_age(n(3), 7, 99)],
+            },
+            Frame::VicinityRequest {
+                from: n(1),
+                from_position: 1234,
+                payload: vec![],
+            },
+            Frame::VicinityResponse {
+                from: n(2),
+                payload: vec![Descriptor::new(n(5), 500)],
+            },
+            Frame::Dissemination {
+                from: n(4),
+                message: Message::marker(n(4), 9),
+            },
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn sender_extraction() {
+        assert_eq!(sample_frames()[0].sender(), Some(n(1)));
+        assert_eq!(Frame::Shutdown.sender(), None);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for frame in sample_frames() {
+            let mut buf = BytesMut::new();
+            encode_frame(&frame, &mut buf);
+            let decoded = decode_frame(&mut buf).unwrap().unwrap();
+            assert_eq!(decoded, frame);
+            assert!(buf.is_empty(), "frame consumed entirely");
+        }
+    }
+
+    #[test]
+    fn decode_handles_partial_and_back_to_back_frames() {
+        let frames = sample_frames();
+        let mut stream = BytesMut::new();
+        for frame in &frames {
+            encode_frame(frame, &mut stream);
+        }
+
+        // Feed the stream a few bytes at a time, as a TCP read would.
+        let mut rx_buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for chunk in stream.chunks(7) {
+            rx_buf.extend_from_slice(chunk);
+            while let Some(frame) = decode_frame(&mut rx_buf).unwrap() {
+                decoded.push(frame);
+            }
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn decode_incomplete_returns_none() {
+        let mut buf = BytesMut::new();
+        encode_frame(&Frame::Shutdown, &mut buf);
+        let mut partial = BytesMut::from(&buf[..buf.len() - 1]);
+        assert!(decode_frame(&mut partial).unwrap().is_none());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(3);
+        buf.put_slice(b"???");
+        assert!(decode_frame(&mut buf).is_err());
+    }
+}

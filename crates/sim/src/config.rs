@@ -1,0 +1,139 @@
+//! Simulation parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a simulated network, mirroring the experimental setup of
+/// Section 7 of the paper.
+///
+/// The defaults reproduce the paper's per-node protocol parameters
+/// (`cyc = vic = 20`, 100 warm-up cycles) with a smaller default population
+/// so unit tests stay fast; the figure-reproduction harnesses override
+/// [`SimConfig::nodes`] to 10,000.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of nodes instantiated at bootstrap (`N`).
+    pub nodes: usize,
+    /// Cyclon view length (`cyc`).
+    pub cyclon_view: usize,
+    /// Number of descriptors exchanged per Cyclon shuffle (`l`).
+    pub cyclon_shuffle: usize,
+    /// Vicinity view length (`vic`).
+    pub vicinity_view: usize,
+    /// Number of descriptors exchanged per Vicinity gossip.
+    pub vicinity_gossip: usize,
+    /// Number of warm-up cycles before dissemination experiments
+    /// (the paper uses 100 for static scenarios).
+    pub warmup_cycles: usize,
+    /// Number of independent identifier rings each node participates in.
+    ///
+    /// `1` reproduces plain RingCast; higher values implement the
+    /// "multiple rings" reliability extension from the paper's conclusions.
+    pub rings: usize,
+    /// Whether nodes run Vicinity at all. RandCast-only experiments can
+    /// disable it to halve the gossip traffic.
+    pub run_vicinity: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 1_000,
+            cyclon_view: 20,
+            cyclon_shuffle: 5,
+            vicinity_view: 20,
+            vicinity_gossip: 5,
+            warmup_cycles: 100,
+            rings: 1,
+            run_vicinity: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The configuration used throughout the paper's evaluation: 10,000
+    /// nodes, `cyc = vic = 20`, 100 warm-up cycles, a single ring.
+    pub fn paper_scale() -> Self {
+        SimConfig {
+            nodes: 10_000,
+            ..SimConfig::default()
+        }
+    }
+
+    /// A small configuration for quick tests (500 nodes, 60 warm-up cycles).
+    pub fn small() -> Self {
+        SimConfig {
+            nodes: 500,
+            warmup_cycles: 60,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Validates the configuration, returning a human-readable description
+    /// of the first problem found.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any parameter is zero (except `rings`, which may
+    /// be zero only when `run_vicinity` is `false`), or if `rings` is zero
+    /// while Vicinity is enabled.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("node count must be positive".into());
+        }
+        if self.cyclon_view == 0 || self.cyclon_shuffle == 0 {
+            return Err("cyclon view and shuffle lengths must be positive".into());
+        }
+        if self.run_vicinity {
+            if self.vicinity_view == 0 || self.vicinity_gossip == 0 {
+                return Err("vicinity view and gossip lengths must be positive".into());
+            }
+            if self.rings == 0 {
+                return Err("at least one ring is required when vicinity runs".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_protocol_parameters() {
+        let c = SimConfig::default();
+        assert_eq!(c.cyclon_view, 20);
+        assert_eq!(c.vicinity_view, 20);
+        assert_eq!(c.warmup_cycles, 100);
+        assert_eq!(c.rings, 1);
+        assert!(c.run_vicinity);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_scale_is_ten_thousand_nodes() {
+        assert_eq!(SimConfig::paper_scale().nodes, 10_000);
+        assert!(SimConfig::paper_scale().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_zero_parameters() {
+        let mut c = SimConfig::default();
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.cyclon_view = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimConfig::default();
+        c.rings = 0;
+        assert!(c.validate().is_err());
+
+        // Zero rings is fine when vicinity does not run.
+        let mut c = SimConfig::default();
+        c.rings = 0;
+        c.run_vicinity = false;
+        assert!(c.validate().is_ok());
+    }
+}

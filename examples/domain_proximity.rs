@@ -1,0 +1,90 @@
+//! Proximity-aware RingCast (Section 8 of the paper): nodes derive their
+//! ring identifier from their reversed domain name plus a random nonce, so
+//! the ring self-organizes by country and organisation and a dissemination
+//! walking the ring visits whole domains consecutively instead of hopping
+//! across continents.
+//!
+//! ```text
+//! cargo run --release --example domain_proximity
+//! ```
+
+use hybridcast::graph::NodeId;
+use hybridcast::membership::descriptor::Descriptor;
+use hybridcast::membership::proximity::DomainKey;
+use hybridcast::membership::vicinity::VicinityNode;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let domains = [
+        "inf.ethz.ch",
+        "phys.ethz.ch",
+        "few.vu.nl",
+        "cs.vu.nl",
+        "cs.uchicago.edu",
+        "eecs.mit.edu",
+        "dcs.gla.ac.uk",
+        "inria.fr",
+    ];
+
+    // 64 nodes spread over the 8 domains, each with a DomainKey identifier.
+    let mut nodes: Vec<(NodeId, DomainKey)> = (0..64u64)
+        .map(|i| {
+            let domain = domains[(i % domains.len() as u64) as usize];
+            (NodeId::new(i), DomainKey::from_domain(domain, rng.gen()))
+        })
+        .collect();
+    nodes.shuffle(&mut rng);
+
+    // Run Vicinity directly over the DomainKey space: every node learns the
+    // whole candidate set (for brevity) and keeps its closest neighbours.
+    let mut vicinity: Vec<VicinityNode<DomainKey>> = nodes
+        .iter()
+        .map(|(id, key)| VicinityNode::new(*id, key.clone(), 8, 4))
+        .collect();
+    let all_descriptors: Vec<Descriptor<DomainKey>> = nodes
+        .iter()
+        .map(|(id, key)| Descriptor::new(*id, key.clone()))
+        .collect();
+    for node in &mut vicinity {
+        node.absorb_candidates(&all_descriptors);
+    }
+
+    // Inspect the resulting ring: walk successors starting from node 0 and
+    // report how often consecutive ring hops stay inside the same country.
+    let key_of = |id: NodeId| -> &DomainKey {
+        &nodes.iter().find(|(n, _)| *n == id).expect("known node").1
+    };
+    let mut same_country_hops = 0usize;
+    let mut total_hops = 0usize;
+    for node in &vicinity {
+        let (_, successor) = node.ring_neighbors();
+        if let Some(successor) = successor {
+            total_hops += 1;
+            if key_of(node.id()).country() == key_of(successor).country() {
+                same_country_hops += 1;
+            }
+        }
+    }
+    println!(
+        "ring hops staying inside the same country: {same_country_hops}/{total_hops} \
+         ({:.0}%)",
+        100.0 * same_country_hops as f64 / total_hops as f64
+    );
+
+    // Show a stretch of the ring in key order to make the clustering visible.
+    let mut by_key: Vec<(DomainKey, NodeId)> =
+        nodes.iter().map(|(id, key)| (key.clone(), *id)).collect();
+    by_key.sort();
+    println!("\nfirst 16 positions of the domain-ordered ring:");
+    for (key, id) in by_key.iter().take(16) {
+        println!("  {id:<5} {key}");
+    }
+    println!(
+        "\nWith 8 nodes per domain, a random ring would keep only ~11% of hops \
+         inside one country; the domain-keyed ring keeps the vast majority local, \
+         so ring traffic stays within domains except at domain boundaries."
+    );
+}

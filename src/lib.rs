@@ -1,0 +1,14 @@
+//! Facade crate re-exporting the full hybridcast workspace.
+//!
+//! See the individual crates for details:
+//! * [`hybridcast_graph`] — graph substrate,
+//! * [`hybridcast_membership`] — Cyclon and Vicinity membership protocols,
+//! * [`hybridcast_sim`] — cycle-driven simulator,
+//! * [`hybridcast_core`] — dissemination protocols (RandCast, RingCast, ...),
+//! * [`hybridcast_net`] — real-transport runtime.
+
+pub use hybridcast_core as core;
+pub use hybridcast_graph as graph;
+pub use hybridcast_membership as membership;
+pub use hybridcast_net as net;
+pub use hybridcast_sim as sim;

@@ -1,0 +1,140 @@
+//! Integration tests for the deterministic dissemination baselines of
+//! Section 3: flooding over trees, stars, cliques, rings and Harary graphs,
+//! and how their trade-offs compare to the hybrid protocol.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use hybridcast::core::engine::disseminate;
+use hybridcast::core::overlay::StaticOverlay;
+use hybridcast::core::protocols::{DeterministicFlooding, RingCast};
+use hybridcast::graph::{builders, harary, NodeId};
+
+fn ids(count: u64) -> Vec<NodeId> {
+    (0..count).map(NodeId::new).collect()
+}
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn tree_flooding_is_optimal_but_fragile() {
+    let nodes = ids(127);
+    let tree = builders::balanced_tree(&nodes, 2);
+    let overlay = StaticOverlay::deterministic(&tree);
+    let report = disseminate(&overlay, &DeterministicFlooding::new(), nodes[0], &mut rng(1));
+    assert!(report.is_complete());
+    // Optimal overhead: exactly N - 1 virgin messages and no redundancy
+    // beyond the echo back up the tree (suppressed by the sender rule).
+    assert_eq!(report.messages_to_virgin, 126);
+    assert_eq!(report.messages_to_notified, 0);
+
+    // A single internal-node failure cuts off a whole branch.
+    let mut broken = StaticOverlay::deterministic(&tree);
+    broken.kill_node(nodes[1]);
+    let report = disseminate(&broken, &DeterministicFlooding::new(), nodes[0], &mut rng(2));
+    assert!(
+        !report.is_complete(),
+        "losing an internal tree node must disconnect its subtree"
+    );
+    assert!(report.unreached.len() >= 62, "the whole branch is lost");
+}
+
+#[test]
+fn star_flooding_concentrates_all_load_on_the_hub() {
+    let nodes = ids(100);
+    let hub = nodes[0];
+    let star = builders::star(hub, &nodes[1..]);
+    let overlay = StaticOverlay::deterministic(&star);
+    let report = disseminate(&overlay, &DeterministicFlooding::new(), nodes[5], &mut rng(3));
+    assert!(report.is_complete());
+    assert_eq!(report.last_hop, 2);
+    // The hub forwards to everyone: worst possible load distribution.
+    assert_eq!(report.forwarded_counts[&hub], 98);
+    let leaves_forwarding: usize = report
+        .forwarded_counts
+        .iter()
+        .filter(|(&id, _)| id != hub)
+        .map(|(_, &count)| count)
+        .sum();
+    assert!(leaves_forwarding <= 99, "leaves only talk to the hub");
+
+    // Killing the hub kills the dissemination entirely.
+    let mut broken = StaticOverlay::deterministic(&star);
+    broken.kill_node(hub);
+    let report = disseminate(&broken, &DeterministicFlooding::new(), nodes[5], &mut rng(4));
+    assert_eq!(report.reached, 1, "only the origin is notified without the hub");
+}
+
+#[test]
+fn clique_flooding_is_maximally_reliable_and_maximally_wasteful() {
+    let nodes = ids(40);
+    let clique = builders::clique(&nodes);
+    let mut overlay = StaticOverlay::deterministic(&clique);
+    // Kill 30% of the nodes: the clique still reaches every survivor.
+    for i in 0..12 {
+        overlay.kill_node(nodes[3 * i + 1]);
+    }
+    let report = disseminate(&overlay, &DeterministicFlooding::new(), nodes[0], &mut rng(5));
+    assert!(report.is_complete());
+    // But the overhead is quadratic in the population.
+    assert!(report.total_messages() > 27 * 26 / 2);
+}
+
+#[test]
+fn harary_graphs_trade_links_for_failure_tolerance() {
+    let nodes = ids(60);
+    for t in [2usize, 3, 4] {
+        let h = harary::harary_graph(&nodes, t);
+        let mut overlay = StaticOverlay::deterministic(&h);
+        // Kill exactly t - 1 nodes (not the origin).
+        for k in 0..t - 1 {
+            overlay.kill_node(nodes[10 + k]);
+        }
+        let report =
+            disseminate(&overlay, &DeterministicFlooding::new(), nodes[0], &mut rng(6));
+        assert!(
+            report.is_complete(),
+            "H(60, {t}) must survive {} failures",
+            t - 1
+        );
+        // Message overhead grows linearly with t (each node has ~t links).
+        assert!(report.total_messages() <= t * 60);
+    }
+}
+
+#[test]
+fn bidirectional_ring_is_the_minimal_two_connected_overlay() {
+    let nodes = ids(80);
+    let ring = builders::bidirectional_ring(&nodes);
+    assert_eq!(ring.edge_count() / 2, harary::harary_link_count(80, 2));
+
+    // Any single failure is tolerated...
+    let mut one_dead = StaticOverlay::deterministic(&ring);
+    one_dead.kill_node(nodes[17]);
+    let report =
+        disseminate(&one_dead, &DeterministicFlooding::new(), nodes[0], &mut rng(7));
+    assert!(report.is_complete());
+
+    // ...but two non-adjacent failures partition the ring, and only the
+    // hybrid protocol (random links) bridges the gap.
+    let mut two_dead = StaticOverlay::deterministic(&ring);
+    two_dead.kill_node(nodes[17]);
+    two_dead.kill_node(nodes[53]);
+    let report =
+        disseminate(&two_dead, &DeterministicFlooding::new(), nodes[0], &mut rng(8));
+    assert!(!report.is_complete(), "a partitioned ring cannot flood across the cut");
+
+    let mut hybrid = StaticOverlay::from_graphs(
+        &ring,
+        &builders::random_out_degree(&nodes, 10, &mut rng(9)),
+    );
+    hybrid.kill_node(nodes[17]);
+    hybrid.kill_node(nodes[53]);
+    let report = disseminate(&hybrid, &RingCast::new(3), nodes[0], &mut rng(10));
+    assert!(
+        report.is_complete(),
+        "random links must bridge the ring partitions (Figure 4)"
+    );
+}
