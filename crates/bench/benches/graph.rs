@@ -17,7 +17,9 @@ fn bench_constructors(c: &mut Criterion) {
     group.bench_function("bidirectional_ring_10k", |b| {
         b.iter(|| builders::bidirectional_ring(&nodes))
     });
-    group.bench_function("harary_4_10k", |b| b.iter(|| harary::harary_graph(&nodes, 4)));
+    group.bench_function("harary_4_10k", |b| {
+        b.iter(|| harary::harary_graph(&nodes, 4))
+    });
     group.bench_function("random_out_degree_20_2k", |b| {
         let nodes = ids(2_000);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -32,11 +34,9 @@ fn bench_connectivity(c: &mut Criterion) {
         let nodes = ids(n);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let graph = builders::random_out_degree(&nodes, 10, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new("strongly_connected", n),
-            &graph,
-            |b, g| b.iter(|| connectivity::is_strongly_connected(g)),
-        );
+        group.bench_with_input(BenchmarkId::new("strongly_connected", n), &graph, |b, g| {
+            b.iter(|| connectivity::is_strongly_connected(g))
+        });
         group.bench_with_input(BenchmarkId::new("tarjan_scc", n), &graph, |b, g| {
             b.iter(|| connectivity::strongly_connected_components(g))
         });

@@ -29,7 +29,9 @@ impl Args {
         let mut iter = args.into_iter().map(Into::into).peekable();
         while let Some(arg) = iter.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected argument '{arg}', expected --key [value]"));
+                return Err(format!(
+                    "unexpected argument '{arg}', expected --key [value]"
+                ));
             };
             match iter.peek() {
                 Some(next) if !next.starts_with("--") => {
@@ -107,8 +109,7 @@ mod tests {
 
     #[test]
     fn parses_key_value_pairs_and_flags() {
-        let args =
-            Args::parse(["--nodes", "500", "--paper", "--fanouts", "1,2,3"]).unwrap();
+        let args = Args::parse(["--nodes", "500", "--paper", "--fanouts", "1,2,3"]).unwrap();
         assert_eq!(args.value("nodes"), Some("500"));
         assert!(args.flag("paper"));
         assert!(!args.flag("quick"));

@@ -308,10 +308,7 @@ pub struct PushPullRow {
 /// miss ratio before and after the pull phase together with its cost in
 /// rounds and messages, over a static overlay with a catastrophic failure of
 /// `fail_fraction` (use `0.0` for the failure-free case).
-pub fn push_pull_extension(
-    params: &ExperimentParams,
-    fail_fraction: f64,
-) -> Vec<PushPullRow> {
+pub fn push_pull_extension(params: &ExperimentParams, fail_fraction: f64) -> Vec<PushPullRow> {
     use hybridcast_core::pull::{disseminate_push_pull, PullConfig};
 
     let overlay = if fail_fraction > 0.0 {
@@ -437,11 +434,15 @@ pub fn latency_ablation(
                 run_membership_gossip: true,
                 max_time: 1_000_000.0,
             };
-            let mut rng = ChaCha8Rng::seed_from_u64(
-                params.seed ^ (run as u64) ^ ((ratio * 1000.0) as u64),
+            let mut rng =
+                ChaCha8Rng::seed_from_u64(params.seed ^ (run as u64) ^ ((ratio * 1000.0) as u64));
+            let report = disseminate_async(
+                &mut network,
+                &RingCast::new(fanout),
+                origin,
+                &config,
+                &mut rng,
             );
-            let report =
-                disseminate_async(&mut network, &RingCast::new(fanout), origin, &config, &mut rng);
             hit_sum += report.hit_ratio();
             msg_sum += report.messages_sent as f64;
             if let Some(t) = report.completion_time {

@@ -28,6 +28,17 @@
 //! | §8 ablation | `ablation_connectivity` | [`figures::connectivity_ablation`] |
 //! | §6 ablation | `ablation_view_length` | [`figures::view_length_ablation`] |
 
+//! # Example: parse experiment parameters from CLI-style arguments
+//!
+//! ```
+//! use hybridcast_bench::{Args, ExperimentParams};
+//!
+//! let args = Args::parse(["--nodes", "500", "--runs", "3"]).unwrap();
+//! let params = ExperimentParams::from_args(&args).unwrap();
+//! assert_eq!(params.nodes, 500);
+//! assert_eq!(params.runs, 3);
+//! ```
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

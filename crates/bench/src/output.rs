@@ -148,7 +148,12 @@ mod tests {
         }];
         let text = render_progress(&series);
         assert!(text.contains("# RingCast fanout 2 (5 runs)"));
-        assert_eq!(text.lines().filter(|l| l.starts_with(char::is_numeric)).count(), 3);
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with(char::is_numeric))
+                .count(),
+            3
+        );
     }
 
     #[test]

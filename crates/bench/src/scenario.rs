@@ -113,10 +113,7 @@ pub fn static_overlay(params: &ExperimentParams) -> SnapshotOverlay {
 /// Scenario 2 (Section 7.2): the static overlay of scenario 1 in which a
 /// random `fail_fraction` of the nodes is killed *after* freezing, so the
 /// overlay gets no chance to heal (the paper's worst case).
-pub fn catastrophic_overlay(
-    params: &ExperimentParams,
-    fail_fraction: f64,
-) -> SnapshotOverlay {
+pub fn catastrophic_overlay(params: &ExperimentParams, fail_fraction: f64) -> SnapshotOverlay {
     let mut overlay = static_overlay(params);
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed.wrapping_add(0xFA11));
     kill_fraction_in_snapshot(overlay.snapshot_mut(), fail_fraction, &mut rng);
@@ -176,10 +173,7 @@ mod tests {
         assert_eq!(params.runs, ExperimentParams::quick().runs);
 
         let paper = Args::parse(["--paper"]).unwrap();
-        assert_eq!(
-            ExperimentParams::from_args(&paper).unwrap().nodes,
-            10_000
-        );
+        assert_eq!(ExperimentParams::from_args(&paper).unwrap().nodes, 10_000);
     }
 
     #[test]

@@ -325,7 +325,10 @@ pub fn disseminate_async(
                         &mut queue,
                         &mut seq,
                         time + delay,
-                        Event::Deliver { to: target, from: to },
+                        Event::Deliver {
+                            to: target,
+                            from: to,
+                        },
                     );
                 }
             }
@@ -421,7 +424,11 @@ mod tests {
             &AsyncConfig::default(),
             &mut rng(3),
         );
-        assert!(report.is_complete(), "missed {}", report.population - report.reached);
+        assert!(
+            report.is_complete(),
+            "missed {}",
+            report.population - report.reached
+        );
         assert!(report.completion_time.is_some());
         assert_eq!(report.notification_times.len(), report.reached);
         assert_eq!(report.notification_times[&origin], 0.0);
@@ -451,7 +458,10 @@ mod tests {
             coverages.push(report.reached);
             times.push(report.completion_time.expect("completes"));
         }
-        assert!(coverages.iter().all(|&c| c == coverages[0]), "{coverages:?}");
+        assert!(
+            coverages.iter().all(|&c| c == coverages[0]),
+            "{coverages:?}"
+        );
         assert!(
             times[2] > times[0] * 5.0,
             "a 40x larger delay must slow completion substantially: {times:?}"

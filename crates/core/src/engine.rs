@@ -299,7 +299,18 @@ mod tests {
         let origin = overlay.live_node_ids()[7];
         let report = disseminate(&overlay, &RingCast::new(3), origin, &mut rng(14));
         // Every reached node other than the origin received at least once.
-        assert_eq!(report.received_counts.len() + 1, report.reached);
+        // (The origin itself may or may not appear, depending on whether a
+        // redundant copy happened to be addressed to it.)
+        for node in overlay.live_node_ids() {
+            if node != origin && !report.unreached.contains(&node) {
+                assert!(
+                    report.received_counts.contains_key(&node),
+                    "reached node {node} missing from received_counts"
+                );
+            }
+        }
+        assert!(report.received_counts.len() >= report.reached - 1);
+        assert!(report.received_counts.len() <= report.reached);
         // Total receive events match the virgin + notified message count.
         let total_received: usize = report.received_counts.values().sum();
         assert_eq!(
@@ -317,6 +328,10 @@ mod tests {
         // Every notified node forwards; the per-node forwarding load stays
         // within a small constant of the fanout.
         assert_eq!(summary.count, report.reached);
-        assert!(summary.max <= 6, "forwarding load {} exceeds 6", summary.max);
+        assert!(
+            summary.max <= 6,
+            "forwarding load {} exceeds 6",
+            summary.max
+        );
     }
 }

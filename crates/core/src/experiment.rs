@@ -57,11 +57,7 @@ impl AggregateStats {
     /// # Panics
     ///
     /// Panics if `reports` is empty.
-    pub fn from_reports(
-        protocol: &str,
-        fanout: usize,
-        reports: &[DisseminationReport],
-    ) -> Self {
+    pub fn from_reports(protocol: &str, fanout: usize, reports: &[DisseminationReport]) -> Self {
         assert!(!reports.is_empty(), "cannot aggregate zero reports");
         let runs = reports.len();
         let mean = |f: &dyn Fn(&DisseminationReport) -> f64| -> f64 {

@@ -13,9 +13,7 @@ use hybridcast_graph::NodeId;
 /// A message is identified by its origin node and a per-origin sequence
 /// number, which is how deployed gossip systems deduplicate without any
 /// central coordination.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId {
     /// The node that generated the message.
     pub origin: NodeId,

@@ -142,8 +142,7 @@ mod tests {
         let mut overlay = StaticOverlay::deterministic(&ring);
         overlay.add_r_link(n(0), n(3));
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let targets =
-            DeterministicFlooding::new().select_targets(&overlay, n(0), None, &mut rng);
+        let targets = DeterministicFlooding::new().select_targets(&overlay, n(0), None, &mut rng);
         assert_eq!(targets.len(), 2);
         assert!(!targets.contains(&n(3)));
     }

@@ -91,8 +91,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let candidates: Vec<NodeId> = (0..10).map(n).collect();
         let already = vec![n(4)];
-        let picked =
-            pick_random_targets(&candidates, 5, n(0), Some(n(1)), &already, &mut rng);
+        let picked = pick_random_targets(&candidates, 5, n(0), Some(n(1)), &already, &mut rng);
         assert_eq!(picked.len(), 5);
         assert!(!picked.contains(&n(0)));
         assert!(!picked.contains(&n(1)));

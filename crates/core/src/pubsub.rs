@@ -266,7 +266,10 @@ mod tests {
         let report = ps
             .publish(&Topic::new("updates"), n(0), &RandCast::new(3), &mut rng)
             .unwrap();
-        assert!(report.hit_ratio() > 0.5, "RandCast reaches a large fraction");
+        assert!(
+            report.hit_ratio() > 0.5,
+            "RandCast reaches a large fraction"
+        );
     }
 
     #[test]
@@ -297,9 +300,6 @@ mod tests {
             .publish(&Topic::new("t1"), n(3), &RingCast::new(3), &mut rng)
             .unwrap();
         assert_eq!(report.population, 20, "only t1 subscribers are targeted");
-        assert!(report
-            .received_counts
-            .keys()
-            .all(|id| id.as_u64() < 20));
+        assert!(report.received_counts.keys().all(|id| id.as_u64() < 20));
     }
 }

@@ -162,8 +162,7 @@ pub fn disseminate_push_pull(
             }
         }
         per_round_new.push(obtained_this_round.len());
-        if obtained_this_round.is_empty() && per_round_new.iter().rev().take(3).all(|&n| n == 0)
-        {
+        if obtained_this_round.is_empty() && per_round_new.iter().rev().take(3).all(|&n| n == 0) {
             // Three consecutive dry rounds: the remaining nodes have no live
             // links into the holder set (isolated by failures); polling
             // further cannot help.

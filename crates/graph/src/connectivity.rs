@@ -59,8 +59,8 @@ pub fn bfs_distances(graph: &DiGraph, start: NodeId) -> BTreeMap<NodeId, usize> 
     while let Some(node) = queue.pop_front() {
         let d = dist[&node];
         for succ in graph.successors(node) {
-            if !dist.contains_key(&succ) {
-                dist.insert(succ, d + 1);
+            if let std::collections::btree_map::Entry::Vacant(entry) = dist.entry(succ) {
+                entry.insert(d + 1);
                 queue.push_back(succ);
             }
         }

@@ -175,8 +175,7 @@ impl DiGraph {
 
     /// Returns the in-degree of every node in one `O(V + E)` pass.
     pub fn in_degrees(&self) -> BTreeMap<NodeId, usize> {
-        let mut degrees: BTreeMap<NodeId, usize> =
-            self.adjacency.keys().map(|&n| (n, 0)).collect();
+        let mut degrees: BTreeMap<NodeId, usize> = self.adjacency.keys().map(|&n| (n, 0)).collect();
         for succ in self.adjacency.values() {
             for &to in succ {
                 *degrees.entry(to).or_insert(0) += 1;

@@ -91,7 +91,12 @@ pub fn in_degree_summary(graph: &DiGraph) -> Summary {
 
 /// Summary of out-degrees over all nodes.
 pub fn out_degree_summary(graph: &DiGraph) -> Summary {
-    Summary::of(graph.nodes().map(|n| graph.out_degree(n)).collect::<Vec<_>>())
+    Summary::of(
+        graph
+            .nodes()
+            .map(|n| graph.out_degree(n))
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Average shortest-path hop count from `start` to every node it can reach

@@ -128,9 +128,9 @@ impl<P: Clone> CyclonNode<P> {
         // replaced by fresher information, if it is dead the link is gone.
         self.view.remove(target);
 
-        let mut payload = self
-            .view
-            .random_descriptors(self.shuffle_len.saturating_sub(1), &[target], rng);
+        let mut payload =
+            self.view
+                .random_descriptors(self.shuffle_len.saturating_sub(1), &[target], rng);
         payload.push(Descriptor::new(self.id, self.profile.clone()));
         Some((target, payload))
     }
@@ -286,8 +286,7 @@ mod tests {
         // Age peer 2 the most.
         node.begin_cycle();
         node.view.remove(n(2));
-        node.view
-            .insert(Descriptor::with_age(n(2), 10, ()));
+        node.view.insert(Descriptor::with_age(n(2), 10, ()));
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let (target, payload) = node.initiate_shuffle(&mut rng).unwrap();
         assert_eq!(target, n(2));

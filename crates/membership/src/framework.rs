@@ -185,9 +185,9 @@ impl<P: Clone> FrameworkNode<P> {
         target: NodeId,
         rng: &mut R,
     ) -> Vec<Descriptor<P>> {
-        let mut payload = self
-            .view
-            .random_descriptors(self.exchange_len.saturating_sub(1), &[target], rng);
+        let mut payload =
+            self.view
+                .random_descriptors(self.exchange_len.saturating_sub(1), &[target], rng);
         payload.push(Descriptor::new(self.id, self.profile.clone()));
         payload
     }
@@ -278,9 +278,7 @@ impl<P: Clone> FrameworkNode<P> {
                     // back to the oldest when none is left in the pool.
                     pool.iter()
                         .enumerate()
-                        .find(|(_, d)| {
-                            sent.iter().any(|s| s.id == d.id) && d.id != self.id
-                        })
+                        .find(|(_, d)| sent.iter().any(|s| s.id == d.id) && d.id != self.id)
                         .map(|(i, _)| i)
                         .unwrap_or_else(|| {
                             pool.iter()
@@ -334,8 +332,7 @@ mod tests {
     /// policy and returns the nodes.
     fn converge(policy: SamplingPolicy, population: u64, cycles: usize) -> Vec<FrameworkNode<()>> {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let mut nodes: Vec<FrameworkNode<()>> =
-            (0..population).map(|i| node(i, policy)).collect();
+        let mut nodes: Vec<FrameworkNode<()>> = (0..population).map(|i| node(i, policy)).collect();
         for node in nodes.iter_mut().skip(1) {
             node.add_bootstrap_contact(Descriptor::new(n(0), ()));
         }
@@ -348,8 +345,7 @@ mod tests {
                         sent: payload.clone(),
                     };
                     let from = nodes[i].id();
-                    let reply =
-                        nodes[target.as_index()].handle_request(from, &payload, &mut rng);
+                    let reply = nodes[target.as_index()].handle_request(from, &payload, &mut rng);
                     nodes[i].handle_response(&pending, &reply, &mut rng);
                 }
             }
@@ -369,7 +365,10 @@ mod tests {
             SamplingPolicy::cyclon_like().view_selection,
             ViewSelection::Swapper
         );
-        assert_eq!(SamplingPolicy::healer().view_selection, ViewSelection::Healer);
+        assert_eq!(
+            SamplingPolicy::healer().view_selection,
+            ViewSelection::Healer
+        );
         assert_eq!(SamplingPolicy::blind().peer_selection, PeerSelection::Rand);
     }
 
@@ -379,7 +378,11 @@ mod tests {
         let mut tail = node(0, SamplingPolicy::cyclon_like());
         tail.add_bootstrap_contact(Descriptor::with_age(n(1), 1, ()));
         tail.add_bootstrap_contact(Descriptor::with_age(n(2), 9, ()));
-        assert_eq!(tail.select_peer(&mut rng), Some(n(2)), "tail picks the oldest");
+        assert_eq!(
+            tail.select_peer(&mut rng),
+            Some(n(2)),
+            "tail picks the oldest"
+        );
 
         let empty = node(3, SamplingPolicy::blind());
         assert_eq!(empty.select_peer(&mut rng), None);
@@ -397,7 +400,10 @@ mod tests {
         );
         let reply = push_node.handle_request(n(1), &[Descriptor::new(n(1), ())], &mut rng);
         assert!(reply.is_empty());
-        assert!(push_node.view().contains(n(1)), "received entry still merged");
+        assert!(
+            push_node.view().contains(n(1)),
+            "received entry still merged"
+        );
     }
 
     #[test]
@@ -469,7 +475,10 @@ mod tests {
             target: n(1),
             sent: Vec::new(),
         });
-        assert!(rand.view().contains(n(1)), "rand keeps it (will retry later)");
+        assert!(
+            rand.view().contains(n(1)),
+            "rand keeps it (will retry later)"
+        );
     }
 
     #[test]

@@ -54,5 +54,5 @@ pub mod view;
 pub use cyclon::CyclonNode;
 pub use descriptor::Descriptor;
 pub use sampling::PeerSampling;
-pub use view::View;
 pub use vicinity::VicinityNode;
+pub use view::View;

@@ -59,7 +59,10 @@ impl StaticSampler {
                 filtered.push(p);
             }
         }
-        StaticSampler { id, peers: filtered }
+        StaticSampler {
+            id,
+            peers: filtered,
+        }
     }
 }
 

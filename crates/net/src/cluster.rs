@@ -285,7 +285,10 @@ mod tests {
         cluster.run_for(Duration::from_millis(200));
 
         let receivers = cluster.delivery_log().receivers(message);
-        assert!(!receivers.contains(&victim), "partitioned node cannot receive");
+        assert!(
+            !receivers.contains(&victim),
+            "partitioned node cannot receive"
+        );
         assert!(receivers.len() >= 9, "the rest still get the message");
         cluster.shutdown();
     }

@@ -113,8 +113,7 @@ impl Transport for InMemoryHub {
         let tx = endpoints
             .get(&to)
             .ok_or(TransportError::UnknownDestination(to))?;
-        tx.send(frame)
-            .map_err(|_| TransportError::Disconnected(to))
+        tx.send(frame).map_err(|_| TransportError::Disconnected(to))
     }
 }
 

@@ -53,7 +53,10 @@ impl ChurnConfig {
     /// Returns an error if the rate is not within `[0, 1]`.
     pub fn validate(&self) -> Result<(), String> {
         if !(0.0..=1.0).contains(&self.rate) {
-            return Err(format!("churn rate must be within [0, 1], got {}", self.rate));
+            return Err(format!(
+                "churn rate must be within [0, 1], got {}",
+                self.rate
+            ));
         }
         Ok(())
     }
@@ -222,10 +225,7 @@ mod tests {
         let mut network = net(100, 2);
         let mut driver = ChurnDriver::new(ChurnConfig { rate: 0.02 });
         driver.run_cycles(&mut network, 10);
-        let late_joiners = network
-            .nodes()
-            .filter(|n| n.joined_at_cycle() > 0)
-            .count();
+        let late_joiners = network.nodes().filter(|n| n.joined_at_cycle() > 0).count();
         assert!(late_joiners >= 10, "expected at least 10 churned-in nodes");
         assert_eq!(network.len(), 100, "population size is preserved");
     }
@@ -235,7 +235,10 @@ mod tests {
         let mut network = net(30, 3);
         let mut driver = ChurnDriver::new(ChurnConfig { rate: 0.1 });
         let cycles = driver.run_until_all_replaced(&mut network, 500);
-        assert!(cycles < 500, "30 nodes at 10% churn must be replaced quickly");
+        assert!(
+            cycles < 500,
+            "30 nodes at 10% churn must be replaced quickly"
+        );
         assert_eq!(network.len(), 30);
         // No original node survives.
         for node in network.nodes() {

@@ -118,22 +118,30 @@ mod tests {
 
     #[test]
     fn validation_rejects_zero_parameters() {
-        let mut c = SimConfig::default();
-        c.nodes = 0;
+        let c = SimConfig {
+            nodes: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.cyclon_view = 0;
+        let c = SimConfig {
+            cyclon_view: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = SimConfig::default();
-        c.rings = 0;
+        let c = SimConfig {
+            rings: 0,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_err());
 
         // Zero rings is fine when vicinity does not run.
-        let mut c = SimConfig::default();
-        c.rings = 0;
-        c.run_vicinity = false;
+        let c = SimConfig {
+            rings: 0,
+            run_vicinity: false,
+            ..SimConfig::default()
+        };
         assert!(c.validate().is_ok());
     }
 }

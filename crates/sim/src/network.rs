@@ -147,8 +147,9 @@ impl Network {
     pub fn spawn_node(&mut self, introducer: Option<NodeId>) -> NodeId {
         let id = NodeId::new(self.next_id);
         self.next_id += 1;
-        let ring_positions: Vec<RingPosition> =
-            (0..self.config.rings.max(1)).map(|_| self.rng.gen()).collect();
+        let ring_positions: Vec<RingPosition> = (0..self.config.rings.max(1))
+            .map(|_| self.rng.gen())
+            .collect();
 
         let mut cyclon = CyclonNode::new(
             id,
@@ -277,11 +278,7 @@ impl Network {
                             &request,
                             &peer_candidates,
                         );
-                        node.vicinity[ring].handle_exchange_response(
-                            &pending,
-                            &reply,
-                            &candidates,
-                        );
+                        node.vicinity[ring].handle_exchange_response(&pending, &reply, &candidates);
                     }
                     _ => node.vicinity[ring].exchange_failed(&pending),
                 }
@@ -405,10 +402,8 @@ mod tests {
         net.run_cycles(80);
 
         // Compute the true ring from the ring positions.
-        let mut by_position: Vec<(u64, NodeId)> = net
-            .nodes()
-            .map(|n| (n.ring_position(), n.id()))
-            .collect();
+        let mut by_position: Vec<(u64, NodeId)> =
+            net.nodes().map(|n| (n.ring_position(), n.id())).collect();
         by_position.sort();
         let n = by_position.len();
         let mut correct = 0usize;

@@ -69,9 +69,7 @@ impl SessionLength {
     /// above 1, or a zero fixed length.
     pub fn validate(&self) -> Result<(), String> {
         match *self {
-            SessionLength::Fixed(cycles) if cycles == 0 => {
-                Err("fixed session length must be positive".into())
-            }
+            SessionLength::Fixed(0) => Err("fixed session length must be positive".into()),
             SessionLength::Exponential { mean } if mean <= 0.0 => {
                 Err("exponential mean must be positive".into())
             }
@@ -128,7 +126,9 @@ impl SessionChurnDriver {
     ///
     /// Panics if the configuration does not validate.
     pub fn new(config: SessionChurnConfig, network: &Network, seed: u64) -> Self {
-        config.validate().expect("invalid session churn configuration");
+        config
+            .validate()
+            .expect("invalid session churn configuration");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let now = network.cycle();
         let departures = network

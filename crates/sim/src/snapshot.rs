@@ -180,7 +180,10 @@ mod tests {
         assert!(!snap.is_empty());
         assert!(snap.is_live(n(1)));
         assert!(!snap.is_live(n(9)));
-        assert_eq!(snap.live_nodes().collect::<Vec<_>>(), vec![n(0), n(1), n(2)]);
+        assert_eq!(
+            snap.live_nodes().collect::<Vec<_>>(),
+            vec![n(0), n(1), n(2)]
+        );
         assert_eq!(snap.node(n(1)).unwrap().ring_position, 200);
         assert_eq!(snap.r_links(n(0)), vec![n(1), n(2), n(9)]);
         assert_eq!(snap.d_links(n(9)), Vec::<NodeId>::new());

@@ -77,10 +77,6 @@ fn main() {
     println!(
         "\nsingle RingCast run from {}: reached {}/{} survivors in {} hops \
          ({} messages absorbed by dead hosts)",
-        origin,
-        report.reached,
-        report.population,
-        report.last_hop,
-        report.messages_to_dead
+        origin, report.reached, report.population, report.last_hop, report.messages_to_dead
     );
 }

@@ -65,8 +65,7 @@ fn main() {
                 }
             }
         }
-        let mean_miss =
-            reports.iter().map(|r| r.miss_ratio()).sum::<f64>() / reports.len() as f64;
+        let mean_miss = reports.iter().map(|r| r.miss_ratio()).sum::<f64>() / reports.len() as f64;
         println!(
             "{:<9} fanout {}: mean miss ratio {:.4}% over {} updates \
              | misses: {} on nodes younger than 20 cycles, {} on established nodes",
@@ -89,7 +88,11 @@ fn main() {
     }
     println!("\nnode lifetimes (bucketed by 100 cycles):");
     for (bucket, count) in lifetimes {
-        println!("  {:>5}-{:<5} cycles: {count} nodes", bucket * 100, bucket * 100 + 99);
+        println!(
+            "  {:>5}-{:<5} cycles: {count} nodes",
+            bucket * 100,
+            bucket * 100 + 99
+        );
     }
     println!(
         "\nRingCast's few misses concentrate on nodes that joined moments ago \

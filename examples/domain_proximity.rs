@@ -54,9 +54,8 @@ fn main() {
 
     // Inspect the resulting ring: walk successors starting from node 0 and
     // report how often consecutive ring hops stay inside the same country.
-    let key_of = |id: NodeId| -> &DomainKey {
-        &nodes.iter().find(|(n, _)| *n == id).expect("known node").1
-    };
+    let key_of =
+        |id: NodeId| -> &DomainKey { &nodes.iter().find(|(n, _)| *n == id).expect("known node").1 };
     let mut same_country_hops = 0usize;
     let mut total_hops = 0usize;
     for node in &vicinity {

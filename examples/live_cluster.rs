@@ -21,7 +21,10 @@ fn main() {
         ..ClusterConfig::default()
     };
     let mut cluster = Cluster::start(config).expect("cluster boots");
-    println!("started {} node threads, letting the overlay converge...", cluster.len());
+    println!(
+        "started {} node threads, letting the overlay converge...",
+        cluster.len()
+    );
     cluster.run_for(Duration::from_millis(600));
 
     let message = cluster.publish_from_first().expect("publish");

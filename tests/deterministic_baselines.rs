@@ -23,7 +23,12 @@ fn tree_flooding_is_optimal_but_fragile() {
     let nodes = ids(127);
     let tree = builders::balanced_tree(&nodes, 2);
     let overlay = StaticOverlay::deterministic(&tree);
-    let report = disseminate(&overlay, &DeterministicFlooding::new(), nodes[0], &mut rng(1));
+    let report = disseminate(
+        &overlay,
+        &DeterministicFlooding::new(),
+        nodes[0],
+        &mut rng(1),
+    );
     assert!(report.is_complete());
     // Optimal overhead: exactly N - 1 virgin messages and no redundancy
     // beyond the echo back up the tree (suppressed by the sender rule).
@@ -33,7 +38,12 @@ fn tree_flooding_is_optimal_but_fragile() {
     // A single internal-node failure cuts off a whole branch.
     let mut broken = StaticOverlay::deterministic(&tree);
     broken.kill_node(nodes[1]);
-    let report = disseminate(&broken, &DeterministicFlooding::new(), nodes[0], &mut rng(2));
+    let report = disseminate(
+        &broken,
+        &DeterministicFlooding::new(),
+        nodes[0],
+        &mut rng(2),
+    );
     assert!(
         !report.is_complete(),
         "losing an internal tree node must disconnect its subtree"
@@ -47,7 +57,12 @@ fn star_flooding_concentrates_all_load_on_the_hub() {
     let hub = nodes[0];
     let star = builders::star(hub, &nodes[1..]);
     let overlay = StaticOverlay::deterministic(&star);
-    let report = disseminate(&overlay, &DeterministicFlooding::new(), nodes[5], &mut rng(3));
+    let report = disseminate(
+        &overlay,
+        &DeterministicFlooding::new(),
+        nodes[5],
+        &mut rng(3),
+    );
     assert!(report.is_complete());
     assert_eq!(report.last_hop, 2);
     // The hub forwards to everyone: worst possible load distribution.
@@ -63,8 +78,16 @@ fn star_flooding_concentrates_all_load_on_the_hub() {
     // Killing the hub kills the dissemination entirely.
     let mut broken = StaticOverlay::deterministic(&star);
     broken.kill_node(hub);
-    let report = disseminate(&broken, &DeterministicFlooding::new(), nodes[5], &mut rng(4));
-    assert_eq!(report.reached, 1, "only the origin is notified without the hub");
+    let report = disseminate(
+        &broken,
+        &DeterministicFlooding::new(),
+        nodes[5],
+        &mut rng(4),
+    );
+    assert_eq!(
+        report.reached, 1,
+        "only the origin is notified without the hub"
+    );
 }
 
 #[test]
@@ -76,7 +99,12 @@ fn clique_flooding_is_maximally_reliable_and_maximally_wasteful() {
     for i in 0..12 {
         overlay.kill_node(nodes[3 * i + 1]);
     }
-    let report = disseminate(&overlay, &DeterministicFlooding::new(), nodes[0], &mut rng(5));
+    let report = disseminate(
+        &overlay,
+        &DeterministicFlooding::new(),
+        nodes[0],
+        &mut rng(5),
+    );
     assert!(report.is_complete());
     // But the overhead is quadratic in the population.
     assert!(report.total_messages() > 27 * 26 / 2);
@@ -92,8 +120,12 @@ fn harary_graphs_trade_links_for_failure_tolerance() {
         for k in 0..t - 1 {
             overlay.kill_node(nodes[10 + k]);
         }
-        let report =
-            disseminate(&overlay, &DeterministicFlooding::new(), nodes[0], &mut rng(6));
+        let report = disseminate(
+            &overlay,
+            &DeterministicFlooding::new(),
+            nodes[0],
+            &mut rng(6),
+        );
         assert!(
             report.is_complete(),
             "H(60, {t}) must survive {} failures",
@@ -113,8 +145,12 @@ fn bidirectional_ring_is_the_minimal_two_connected_overlay() {
     // Any single failure is tolerated...
     let mut one_dead = StaticOverlay::deterministic(&ring);
     one_dead.kill_node(nodes[17]);
-    let report =
-        disseminate(&one_dead, &DeterministicFlooding::new(), nodes[0], &mut rng(7));
+    let report = disseminate(
+        &one_dead,
+        &DeterministicFlooding::new(),
+        nodes[0],
+        &mut rng(7),
+    );
     assert!(report.is_complete());
 
     // ...but two non-adjacent failures partition the ring, and only the
@@ -122,14 +158,19 @@ fn bidirectional_ring_is_the_minimal_two_connected_overlay() {
     let mut two_dead = StaticOverlay::deterministic(&ring);
     two_dead.kill_node(nodes[17]);
     two_dead.kill_node(nodes[53]);
-    let report =
-        disseminate(&two_dead, &DeterministicFlooding::new(), nodes[0], &mut rng(8));
-    assert!(!report.is_complete(), "a partitioned ring cannot flood across the cut");
-
-    let mut hybrid = StaticOverlay::from_graphs(
-        &ring,
-        &builders::random_out_degree(&nodes, 10, &mut rng(9)),
+    let report = disseminate(
+        &two_dead,
+        &DeterministicFlooding::new(),
+        nodes[0],
+        &mut rng(8),
     );
+    assert!(
+        !report.is_complete(),
+        "a partitioned ring cannot flood across the cut"
+    );
+
+    let mut hybrid =
+        StaticOverlay::from_graphs(&ring, &builders::random_out_degree(&nodes, 10, &mut rng(9)));
     hybrid.kill_node(nodes[17]);
     hybrid.kill_node(nodes[53]);
     let report = disseminate(&hybrid, &RingCast::new(3), nodes[0], &mut rng(10));

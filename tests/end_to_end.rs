@@ -99,24 +99,21 @@ fn ringcast_needs_an_order_of_magnitude_fewer_messages_for_completeness() {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
 
     let origins = random_origins(&overlay, 10, &mut rng);
-    let ring_reports =
-        run_disseminations(&overlay, &RingCast::new(2), &origins, &mut rng);
+    let ring_reports = run_disseminations(&overlay, &RingCast::new(2), &origins, &mut rng);
     let ring_stats = AggregateStats::from_reports("RingCast", 2, &ring_reports);
     assert_eq!(ring_stats.complete_fraction, 1.0);
 
     // Find the smallest fanout at which RandCast completes all 10 runs.
     let mut randcast_complete_fanout = None;
     for fanout in 2..=20 {
-        let reports =
-            run_disseminations(&overlay, &RandCast::new(fanout), &origins, &mut rng);
+        let reports = run_disseminations(&overlay, &RandCast::new(fanout), &origins, &mut rng);
         let stats = AggregateStats::from_reports("RandCast", fanout, &reports);
         if stats.complete_fraction == 1.0 {
             randcast_complete_fanout = Some((fanout, stats));
             break;
         }
     }
-    let (fanout, rand_stats) =
-        randcast_complete_fanout.expect("RandCast must eventually complete");
+    let (fanout, rand_stats) = randcast_complete_fanout.expect("RandCast must eventually complete");
     assert!(
         fanout >= 5,
         "RandCast should need a much larger fanout than RingCast, needed {fanout}"
@@ -143,7 +140,12 @@ fn dissemination_load_is_spread_evenly_across_nodes() {
         // Every notified node forwards; nobody forwards more than
         // fanout + 2 messages (ring links + random links).
         assert_eq!(forwarding.count, report.reached);
-        assert!(forwarding.max <= 6, "{}: max load {}", protocol.name(), forwarding.max);
+        assert!(
+            forwarding.max <= 6,
+            "{}: max load {}",
+            protocol.name(),
+            forwarding.max
+        );
         let receiving = report.receive_load_summary();
         assert!(
             receiving.max <= 25,

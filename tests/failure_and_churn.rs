@@ -123,7 +123,10 @@ fn churn_steady_state_preserves_population_and_lifetimes() {
     );
     let mut driver = ChurnDriver::new(ChurnConfig { rate: 0.01 });
     let cycles = driver.run_until_all_replaced(&mut network, 3_000);
-    assert!(cycles < 3_000, "1% churn must replace 300 nodes well within the cap");
+    assert!(
+        cycles < 3_000,
+        "1% churn must replace 300 nodes well within the cap"
+    );
     assert_eq!(network.len(), 300);
 
     let histogram = lifetime_histogram(&network);

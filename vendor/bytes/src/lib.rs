@@ -1,0 +1,230 @@
+//! Offline shim for the subset of the `bytes` crate used by the
+//! `hybridcast-net` wire codec: a growable byte buffer with a consuming
+//! front cursor ([`BytesMut`]) plus the [`Buf`] / [`BufMut`] trait names.
+//!
+//! The implementation is a plain `Vec<u8>` with a start offset; `advance`
+//! and `split_to` move the offset instead of shifting bytes, and writes
+//! compact the buffer lazily. That is all the length-prefixed frame
+//! reassembly in `hybridcast_net::wire` needs.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer supporting cheap consumption from the front.
+#[derive(Clone, Default, Eq)]
+pub struct BytesMut {
+    storage: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            storage: Vec::with_capacity(capacity),
+            start: 0,
+        }
+    }
+
+    /// Ensures space for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.compact();
+        self.storage.reserve(additional);
+    }
+
+    /// Appends `slice` to the buffer.
+    pub fn extend_from_slice(&mut self, slice: &[u8]) {
+        self.storage.extend_from_slice(slice);
+    }
+
+    /// Splits off and returns the first `at` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` exceeds the buffer length.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(
+            at <= self.len(),
+            "split_to({at}) out of bounds of {}",
+            self.len()
+        );
+        let front = self.storage[self.start..self.start + at].to_vec();
+        self.start += at;
+        BytesMut {
+            storage: front,
+            start: 0,
+        }
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.storage.len() - self.start
+    }
+
+    /// Whether no readable bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all contents.
+    pub fn clear(&mut self) {
+        self.storage.clear();
+        self.start = 0;
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.storage.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.storage[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.storage[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(slice: &[u8]) -> Self {
+        BytesMut {
+            storage: slice.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for BytesMut {
+    fn from(array: &[u8; N]) -> Self {
+        BytesMut::from(array.as_slice())
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({:?})", &**self)
+    }
+}
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Number of readable bytes remaining.
+    fn remaining(&self) -> usize;
+
+    /// Discards the next `count` readable bytes.
+    fn advance(&mut self, count: usize);
+
+    /// Whether any readable bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, count: usize) {
+        assert!(
+            count <= self.len(),
+            "advance({count}) out of bounds of {}",
+            self.len()
+        );
+        self.start += count;
+    }
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, slice: &[u8]);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.storage.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_consume() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(7);
+        buf.put_slice(b"abc");
+        assert_eq!(buf.len(), 7);
+        assert_eq!(&buf[..4], &[0, 0, 0, 7]);
+        buf.advance(4);
+        assert_eq!(&*buf, b"abc");
+        let front = buf.split_to(2);
+        assert_eq!(&*front, b"ab");
+        assert_eq!(&*buf, b"c");
+        assert!(!buf.is_empty());
+        buf.advance(1);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn reserve_compacts_consumed_prefix() {
+        let mut buf = BytesMut::from(b"0123456789".as_slice());
+        buf.advance(8);
+        buf.reserve(100);
+        assert_eq!(&*buf, b"89");
+        buf.extend_from_slice(b"xy");
+        assert_eq!(&*buf, b"89xy");
+    }
+
+    #[test]
+    fn chunks_iterate_readable_bytes_only() {
+        let mut buf = BytesMut::from(b"abcdef".as_slice());
+        buf.advance(2);
+        let chunks: Vec<&[u8]> = buf.chunks(3).collect();
+        assert_eq!(chunks, vec![b"cde".as_slice(), b"f".as_slice()]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Offline shim for the subset of `crossbeam` the workspace uses: the
+//! `channel` module with unbounded MPSC channels.
+//!
+//! `std::sync::mpsc` provides the same operations with the same types since
+//! Rust 1.72 made `Sender` both `Send` and `Sync`; this shim simply re-maps
+//! the constructor name (`unbounded`) and re-exports the error enums, so the
+//! `hybridcast-net` runtime compiles unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Multi-producer single-consumer channels (`crossbeam::channel` shape).
+
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_and_receive_across_threads() {
+        let (tx, rx) = unbounded();
+        let sender = tx.clone();
+        std::thread::spawn(move || sender.send(41u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 41);
+        drop(tx);
+        assert!(rx.recv().is_err(), "disconnected after all senders drop");
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout_then_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+}

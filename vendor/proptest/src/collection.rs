@@ -1,0 +1,155 @@
+//! Collection strategies (`prop::collection::{vec, btree_set, hash_set}`).
+
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+
+use rand::Rng;
+
+use crate::strategy::{Strategy, TestRng};
+
+/// A size specification: a fixed length or a half-open range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange {
+            min: len,
+            max: len + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            min: range.start,
+            max: range.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *range.start(),
+            max: *range.end() + 1,
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..self.max)
+    }
+}
+
+/// Strategy for `Vec<T>` with lengths drawn from a size range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with cardinalities drawn from a size range.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates ordered sets with cardinality drawn from `size`.
+///
+/// Mirrors proptest's behaviour of retrying duplicate insertions a bounded
+/// number of times, so requested minimum cardinalities are respected unless
+/// the element domain is too small.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 10 + 16 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// Strategy for `HashSet<T>` with cardinalities drawn from a size range.
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates hash sets with cardinality drawn from `size`.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = HashSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 10 + 16 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}

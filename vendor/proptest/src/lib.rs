@@ -1,0 +1,134 @@
+//! Offline property-testing shim compatible with the `proptest!` surface the
+//! hybridcast workspace uses.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are generated from a ChaCha8 stream seeded from the test name, so
+//!   every run explores the same inputs (fully deterministic, no failure
+//!   persistence files needed),
+//! * failing inputs are reported but **not shrunk**,
+//! * the case count defaults to 64 and is tunable with the `PROPTEST_CASES`
+//!   environment variable — CI and slow machines can dial it down, soak runs
+//!   can dial it up.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! // Inside a `#[cfg(test)]` module the function would carry `#[test]`.
+//! proptest! {
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: strategies, macros and error types.
+
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! Namespaced re-exports matching `proptest::prelude::prop`.
+        pub use crate::collection;
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// Each function becomes a `#[test]` that samples its arguments from the
+/// given strategies and runs the body for a configurable number of cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(stringify!($name), |__case_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __case_rng);)+
+                let __case_description = ::std::format!(
+                    ::std::concat!($(::std::stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (__case_description, __outcome)
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// process) so the runner can report the generating inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+))
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Discards the current case when its inputs do not satisfy a precondition;
+/// the runner draws a replacement case instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

@@ -1,0 +1,135 @@
+//! The case-driving runner behind the `proptest!` macro.
+
+use rand::SeedableRng;
+
+use crate::strategy::TestRng;
+
+/// Default number of accepted cases per property.
+pub const DEFAULT_CASES: usize = 64;
+
+/// How a single generated case can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold for these inputs.
+    Fail(String),
+    /// The inputs violate a precondition (`prop_assume!`); draw a new case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Creates a rejection with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(message) => write!(f, "{message}"),
+            TestCaseError::Reject(message) => write!(f, "rejected: {message}"),
+        }
+    }
+}
+
+/// Returns the configured case count (the `PROPTEST_CASES` environment
+/// variable, defaulting to [`DEFAULT_CASES`]).
+pub fn configured_cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|text| text.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// Runs one property: draws cases deterministically (seeded from the test
+/// name) until the configured number has been accepted or one fails.
+///
+/// # Panics
+///
+/// Panics — failing the surrounding `#[test]` — when a case fails or when
+/// too many cases in a row are rejected by `prop_assume!`.
+pub fn run<F>(name: &str, case: F)
+where
+    F: Fn(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let cases = configured_cases();
+    let mut rng = TestRng::seed_from_u64(seed_from_name(name));
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    while accepted < cases {
+        let (description, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > cases * 32 + 256 {
+                    panic!(
+                        "property `{name}`: too many rejected cases \
+                         ({rejected} rejections for {accepted} accepted)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property `{name}` failed after {accepted} passing case(s)\n\
+                     inputs: {description}\n{message}"
+                );
+            }
+        }
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of the test name, used as the stream seed.
+fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejection_draws_replacement_cases() {
+        let mut calls = 0usize;
+        let calls_ref = std::cell::Cell::new(0usize);
+        run("rejection_test", |rng| {
+            calls_ref.set(calls_ref.get() + 1);
+            use rand::RngCore;
+            let v = rng.next_u64() % 4;
+            if v == 0 {
+                ("v = 0".to_string(), Err(TestCaseError::reject("v != 0")))
+            } else {
+                (format!("v = {v}"), Ok(()))
+            }
+        });
+        calls += calls_ref.get();
+        assert!(calls >= configured_cases());
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing_test` failed")]
+    fn failure_panics_with_inputs() {
+        run("failing_test", |_| {
+            (
+                "x = 1".to_string(),
+                Err(TestCaseError::fail("x must be even")),
+            )
+        });
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(seed_from_name("a"), seed_from_name("b"));
+    }
+}

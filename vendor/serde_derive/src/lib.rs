@@ -1,0 +1,521 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored serde shim.
+//!
+//! Written directly against the compiler's `proc_macro` API (no `syn`, no
+//! `quote` — the build runs fully offline). The parser extracts just enough
+//! structure from the item: the type name, its generic parameter names, and
+//! the shape of its fields or variants. Supported shapes match what the
+//! hybridcast workspace derives:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, like real serde),
+//! * enums with unit, tuple and struct variants (externally tagged).
+//!
+//! `#[serde(...)]` helper attributes are accepted and ignored: the only one
+//! the workspace uses is `#[serde(transparent)]` on a newtype struct, whose
+//! behaviour is already the default for newtypes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Direction::Serialize)
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate(&item, Direction::Deserialize)
+        .parse()
+        .expect("generated impl must parse")
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn skip_attributes(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next(); // '#'
+                         // Inner attribute bang (not expected, but harmless).
+            if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                self.next();
+            }
+            match self.next() {
+                Some(TokenTree::Group(_)) => {}
+                other => panic!("malformed attribute near {other:?}"),
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next(); // pub(crate) / pub(super)
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Parses `<A, B: Bound, ...>` if present, returning the parameter names.
+    fn parse_generics(&mut self) -> Vec<String> {
+        if !matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Vec::new();
+        }
+        self.next(); // '<'
+        let mut params = Vec::new();
+        let mut depth = 1usize;
+        let mut at_param_start = true;
+        while depth > 0 {
+            match self.next().expect("unterminated generic parameter list") {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+                TokenTree::Ident(id) if depth == 1 && at_param_start => {
+                    let name = id.to_string();
+                    if name != "const" {
+                        params.push(name);
+                    }
+                    at_param_start = false;
+                }
+                _ => {}
+            }
+        }
+        params
+    }
+
+    /// Skips type tokens until a `,` at angle-bracket depth zero, consuming
+    /// the comma. Returns `false` when the cursor is exhausted instead.
+    fn skip_type_to_comma(&mut self) -> bool {
+        let mut depth = 0usize;
+        loop {
+            match self.next() {
+                None => return false,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => return true,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    cursor.skip_attributes();
+    cursor.skip_visibility();
+    let kind = cursor.expect_ident();
+    let name = cursor.expect_ident();
+    let generics = cursor.parse_generics();
+
+    match kind.as_str() {
+        "struct" => match cursor.next() {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => Item {
+                name,
+                generics,
+                shape: Shape::NamedStruct(parse_named_fields(body.stream())),
+            },
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => Item {
+                name,
+                generics,
+                shape: Shape::TupleStruct(count_tuple_fields(body.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                generics,
+                shape: Shape::UnitStruct,
+            },
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match cursor.next() {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => Item {
+                name,
+                generics,
+                shape: Shape::Enum(parse_variants(body.stream())),
+            },
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        if cursor.peek().is_none() {
+            break;
+        }
+        cursor.skip_visibility();
+        fields.push(cursor.expect_ident());
+        match cursor.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        if !cursor.skip_type_to_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cursor = Cursor::new(stream);
+    if cursor.peek().is_none() {
+        return 0;
+    }
+    let mut count = 0;
+    loop {
+        cursor.skip_attributes();
+        if cursor.peek().is_none() {
+            break;
+        }
+        cursor.skip_visibility();
+        count += 1;
+        if !cursor.skip_type_to_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cursor.skip_attributes();
+        if cursor.peek().is_none() {
+            break;
+        }
+        let name = cursor.expect_ident();
+        let shape = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cursor.next();
+                VariantShape::Tuple(arity)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Consume the trailing comma (and any discriminant — unsupported,
+        // but skip_type_to_comma tolerates arbitrary tokens).
+        match cursor.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                cursor.next();
+            }
+            Some(_) => {
+                cursor.skip_type_to_comma();
+            }
+            None => break,
+        }
+    }
+    variants
+}
+
+fn impl_header(item: &Item, direction: Direction) -> String {
+    let trait_path = match direction {
+        Direction::Serialize => "::serde::Serialize",
+        Direction::Deserialize => "::serde::Deserialize",
+    };
+    if item.generics.is_empty() {
+        format!("impl {} for {}", trait_path, item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
+        format!(
+            "impl<{}> {} for {}<{}>",
+            bounded.join(", "),
+            trait_path,
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn generate(item: &Item, direction: Direction) -> String {
+    let body = match direction {
+        Direction::Serialize => serialize_body(item),
+        Direction::Deserialize => deserialize_body(item),
+    };
+    let signature = match direction {
+        Direction::Serialize => "fn to_value(&self) -> ::serde::Value",
+        Direction::Deserialize => {
+            "fn from_value(__value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::de::Error>"
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n    {signature} {{\n{body}\n    }}\n}}\n",
+        header = impl_header(item, direction),
+    )
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(arity) => {
+            let elements: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elements.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let v = &variant.name;
+                    match &variant.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{v}(__f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let elements: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({binders}) => \
+                                 ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Seq(::std::vec![{elements}]))]),",
+                                binders = binders.join(", "),
+                                elements = elements.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{v} {{ {fields} }} => \
+                                 ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    }
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::UnitStruct => format!(
+            "match __value {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+             ::std::format!(\"expected null for unit struct {name}, got {{}}\", \
+             __other.kind()))),\n}}"
+        ),
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            let elements: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::de::element(__items, {i})?"))
+                .collect();
+            format!(
+                "let __items = __value.as_seq().ok_or_else(|| \
+                 ::serde::de::Error::custom(::std::format!(\
+                 \"expected sequence for tuple struct {name}, got {{}}\", __value.kind())))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elements.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let assignments: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(__map, \"{f}\")?,"))
+                .collect();
+            format!(
+                "let __map = __value.as_map().ok_or_else(|| \
+                 ::serde::de::Error::custom(::std::format!(\
+                 \"expected map for struct {name}, got {{}}\", __value.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{}\n}})",
+                assignments.join("\n")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|variant| {
+                    let v = &variant.name;
+                    match &variant.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantShape::Tuple(arity) => {
+                            let elements: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::de::element(__items, {i})?"))
+                                .collect();
+                            Some(format!(
+                                "\"{v}\" => {{\n\
+                                 let __items = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::de::Error::custom(\
+                                 \"expected sequence payload for variant {v}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{v}({}))\n}}",
+                                elements.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let assignments: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::de::field(__map, \"{f}\")?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{v}\" => {{\n\
+                                 let __map = __payload.as_map().ok_or_else(|| \
+                                 ::serde::de::Error::custom(\
+                                 \"expected map payload for variant {v}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{\n{}\n}})\n}}",
+                                assignments.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of enum {name}\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of enum {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 ::std::format!(\"expected enum {name}, got {{}}\", __other.kind()))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n"),
+            )
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Offline JSON front-end for the vendored serde shim.
+//!
+//! Provides the handful of entry points the hybridcast workspace calls
+//! (`to_string`, `to_string_pretty`, `to_vec`, `from_str`, `from_slice`,
+//! [`Error`]) over the shim's `serde::Value` data model. The emitted JSON is
+//! conventional — objects, arrays, numbers, strings with standard escapes —
+//! and every value the workspace serializes round-trips through the parser.
+//!
+//! ```
+//! let numbers = vec![1u64, 2, 3];
+//! let json = serde_json::to_string(&numbers).unwrap();
+//! assert_eq!(json, "[1,2,3]");
+//! let back: Vec<u64> = serde_json::from_str(&json).unwrap();
+//! assert_eq!(back, numbers);
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// An error from JSON serialization or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as human-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<usize>,
+    level: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                let text = f.to_string();
+                out.push_str(&text);
+                // Keep the float/integer distinction visible in the output
+                // so round-trips preserve the value kind.
+                if !text.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                return Err(Error("cannot serialize non-finite float".to_string()));
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, level + 1);
+                write_value(out, item, indent, level + 1)?;
+            }
+            if !items.is_empty() {
+                write_break(out, indent, level);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_break(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1)?;
+            }
+            if !entries.is_empty() {
+                write_break(out, indent, level);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_break(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                char::from(byte),
+                self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            None => Err(Error("unexpected end of input".to_string())),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error(format!("invalid literal at offset {}", self.pos)))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => {
+                            return Err(Error(format!(
+                                "expected `,` or `]` at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_whitespace();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.parse_string()?;
+                    self.skip_whitespace();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_whitespace();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => {
+                            return Err(Error(format!(
+                                "expected `,` or `}}` at offset {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error(format!(
+                "unexpected byte `{}` at offset {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".to_string())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let end = start + 4;
+                            let hex = self
+                                .bytes
+                                .get(start..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".to_string()))?;
+                            // Surrogate pairs are not emitted by the writer;
+                            // reject them rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error("unsupported \\u escape".to_string()))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        other => return Err(Error(format!("invalid escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Decode the next UTF-8 scalar from the raw bytes.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error(format!("invalid UTF-8 in string: {e}")))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(super::to_string(&42u64).unwrap(), "42");
+        assert_eq!(super::to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(super::to_string(&true).unwrap(), "true");
+        assert_eq!(super::to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(super::to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(super::from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(super::from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(
+            super::from_str::<String>("\"hi\\nthere\"").unwrap(),
+            "hi\nthere"
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let mut map: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+        map.insert(3, vec!["a".to_string(), "b\"quoted\"".to_string()]);
+        map.insert(1, vec![]);
+        let json = super::to_string(&map).unwrap();
+        let back: BTreeMap<u64, Vec<String>> = super::from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let values: Vec<Option<f64>> = vec![Some(0.25), None, Some(3.0)];
+        let json = super::to_string(&values).unwrap();
+        assert_eq!(json, "[0.25,null,3.0]");
+        let back: Vec<Option<f64>> = super::from_str(&json).unwrap();
+        assert_eq!(back, values);
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable() {
+        let data = vec![(1u64, 2u64), (3, 4)];
+        let json = super::to_string_pretty(&data).unwrap();
+        assert!(json.contains('\n'));
+        let back: Vec<(u64, u64)> = super::from_str(&json).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(super::from_str::<u64>("???").is_err());
+        assert!(super::from_str::<u64>("42 junk").is_err());
+        assert!(super::from_slice::<u64>(b"\"unterminated").is_err());
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let big = u64::MAX - 3;
+        let json = super::to_string(&big).unwrap();
+        assert_eq!(super::from_str::<u64>(&json).unwrap(), big);
+    }
+}
