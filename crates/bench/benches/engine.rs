@@ -1,0 +1,71 @@
+//! Criterion comparison of the two dissemination engines: the original
+//! id-keyed BTree engine (`disseminate`) vs. the allocation-free dense CSR
+//! engine (`disseminate_dense`), on the same warmed overlay with the same
+//! protocols.
+//!
+//! The overlay size defaults to 1,000 nodes; set `HYBRIDCAST_BENCH_NODES`
+//! to run at a different scale (CI smoke-runs this at a reduced size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use hybridcast_core::engine::{disseminate, disseminate_dense, DenseScratch};
+use hybridcast_core::overlay::{DenseOverlay, Overlay, SnapshotOverlay};
+use hybridcast_core::protocols::DenseSelector;
+use hybridcast_sim::{Network, SimConfig};
+
+fn bench_nodes() -> usize {
+    std::env::var("HYBRIDCAST_BENCH_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000)
+}
+
+fn warmed_overlay(nodes: usize) -> SnapshotOverlay {
+    let mut network = Network::new(
+        SimConfig {
+            nodes,
+            ..SimConfig::default()
+        },
+        11,
+    );
+    network.run_cycles(100);
+    SnapshotOverlay::new(network.overlay_snapshot())
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let nodes = bench_nodes();
+    let overlay = warmed_overlay(nodes);
+    let dense = DenseOverlay::from(&overlay);
+    let origin = overlay.live_node_ids()[0];
+    let protocols = [
+        ("randcast_f5", DenseSelector::randcast(5)),
+        ("ringcast_f3", DenseSelector::ringcast(3)),
+        ("flooding", DenseSelector::Flooding),
+    ];
+
+    let mut group = c.benchmark_group(format!("engine/n{nodes}"));
+    for (name, selector) in &protocols {
+        group.bench_function(format!("btree/{name}"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| disseminate(&overlay, selector, origin, &mut rng))
+        });
+        group.bench_function(format!("dense/{name}"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let mut scratch = DenseScratch::new();
+            b.iter(|| disseminate_dense(&dense, selector, origin, &mut rng, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_conversion(c: &mut Criterion) {
+    let overlay = warmed_overlay(bench_nodes());
+    c.bench_function("engine/snapshot_to_dense", |b| {
+        b.iter(|| DenseOverlay::from(&overlay))
+    });
+}
+
+criterion_group!(benches, bench_engines, bench_dense_conversion);
+criterion_main!(benches);

@@ -10,22 +10,57 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use hybridcast_core::experiment::{random_origins, run_disseminations, AggregateStats};
-use hybridcast_core::overlay::{SnapshotOverlay, StaticOverlay};
-use hybridcast_core::protocols::{GossipTargetSelector, RandCast, RingCast};
+use hybridcast_core::experiment::{
+    random_origins, run_disseminations, run_seed, run_seeded_disseminations, AggregateStats,
+};
+use hybridcast_core::metrics::DisseminationReport;
+use hybridcast_core::overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
+use hybridcast_core::protocols::{DenseSelector, GossipTargetSelector, RingCast};
 use hybridcast_graph::{builders, harary, NodeId};
 use hybridcast_sim::{Network, SimConfig};
 
 use crate::scenario::{
-    catastrophic_overlay, churn_overlay_with_cycles, static_overlay, ExperimentParams,
+    catastrophic_overlay, churn_overlay_with_cycles, dense_overlay, static_overlay, EngineKind,
+    ExperimentParams,
 };
 
 /// The two protocols every figure compares side by side.
-fn protocols(fanout: usize) -> Vec<Box<dyn GossipTargetSelector>> {
+fn protocols(fanout: usize) -> Vec<DenseSelector> {
     vec![
-        Box::new(RandCast::new(fanout)),
-        Box::new(RingCast::new(fanout)),
+        DenseSelector::randcast(fanout),
+        DenseSelector::ringcast(fanout),
     ]
+}
+
+/// Runs one experiment configuration (`params.runs` disseminations of
+/// `protocol`) on the engine selected by `params.engine`.
+///
+/// The dense path derives a per-configuration master seed from
+/// `(params.seed, tag)` and fans seeded runs across
+/// [`ExperimentParams::thread_count`] threads — results are identical for
+/// every thread count. The BTree path is the original sequential
+/// shared-RNG walk, kept for speedup measurements (`--engine btree`).
+fn run_reports(
+    dense: &DenseOverlay,
+    overlay: &dyn Overlay,
+    protocol: &DenseSelector,
+    params: &ExperimentParams,
+    tag: u64,
+    rng: &mut ChaCha8Rng,
+) -> Vec<DisseminationReport> {
+    match params.engine {
+        EngineKind::Dense => run_seeded_disseminations(
+            dense,
+            protocol,
+            params.runs,
+            run_seed(params.seed, tag),
+            params.thread_count(),
+        ),
+        EngineKind::Btree => {
+            let origins = random_origins(overlay, params.runs, rng);
+            run_disseminations(overlay, protocol, &origins, rng)
+        }
+    }
 }
 
 /// A table of aggregate effectiveness results: one row per
@@ -87,12 +122,14 @@ pub fn effectiveness_over(
     scenario: &str,
     params: &ExperimentParams,
 ) -> EffectivenessTable {
+    let dense = dense_overlay(overlay);
     let mut rng = params.dissemination_rng();
     let mut rows = Vec::new();
+    let mut tag = 0u64;
     for &fanout in &params.fanouts {
         for protocol in protocols(fanout) {
-            let origins = random_origins(overlay, params.runs, &mut rng);
-            let reports = run_disseminations(overlay, protocol.as_ref(), &origins, &mut rng);
+            let reports = run_reports(&dense, overlay, &protocol, params, tag, &mut rng);
+            tag += 1;
             rows.push(AggregateStats::from_reports(
                 protocol.name(),
                 fanout,
@@ -116,14 +153,10 @@ pub fn static_effectiveness(params: &ExperimentParams) -> EffectivenessTable {
 /// Averages the per-hop "not reached yet" series of many disseminations,
 /// padding shorter runs with their final value.
 fn average_progress(
-    overlay: &SnapshotOverlay,
-    protocol: &dyn GossipTargetSelector,
+    protocol_name: &str,
     fanout: usize,
-    params: &ExperimentParams,
-    rng: &mut ChaCha8Rng,
+    reports: &[DisseminationReport],
 ) -> ProgressSeries {
-    let origins = random_origins(overlay, params.runs, rng);
-    let reports = run_disseminations(overlay, protocol, &origins, rng);
     let series: Vec<Vec<f64>> = reports.iter().map(|r| r.not_reached_after_hop()).collect();
     let max_len = series.iter().map(Vec::len).max().unwrap_or(0);
     let mut mean = vec![0.0; max_len];
@@ -144,7 +177,7 @@ fn average_progress(
         *value /= series.len() as f64;
     }
     ProgressSeries {
-        protocol: protocol.name().to_owned(),
+        protocol: protocol_name.to_owned(),
         fanout,
         runs: reports.len(),
         mean_not_reached: mean,
@@ -158,17 +191,15 @@ pub fn progress_over(
     params: &ExperimentParams,
     fanouts: &[usize],
 ) -> Vec<ProgressSeries> {
+    let dense = dense_overlay(overlay);
     let mut rng = params.dissemination_rng();
     let mut out = Vec::new();
+    let mut tag = 0u64;
     for &fanout in fanouts {
         for protocol in protocols(fanout) {
-            out.push(average_progress(
-                overlay,
-                protocol.as_ref(),
-                fanout,
-                params,
-                &mut rng,
-            ));
+            let reports = run_reports(&dense, overlay, &protocol, params, tag, &mut rng);
+            tag += 1;
+            out.push(average_progress(protocol.name(), fanout, &reports));
         }
     }
     out
@@ -253,12 +284,14 @@ pub fn miss_lifetimes(
     fanouts: &[usize],
 ) -> Vec<(String, usize, LifetimeHistogram)> {
     let (overlay, _) = churn_overlay_with_cycles(params);
+    let dense = dense_overlay(&overlay);
     let mut rng = params.dissemination_rng();
     let mut out = Vec::new();
+    let mut tag = 0u64;
     for &fanout in fanouts {
         for protocol in protocols(fanout) {
-            let origins = random_origins(&overlay, params.runs, &mut rng);
-            let reports = run_disseminations(&overlay, protocol.as_ref(), &origins, &mut rng);
+            let reports = run_reports(&dense, &overlay, &protocol, params, tag, &mut rng);
+            tag += 1;
             let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
             for report in &reports {
                 for &missed in &report.unreached {
@@ -308,6 +341,11 @@ pub struct PushPullRow {
 /// miss ratio before and after the pull phase together with its cost in
 /// rounds and messages, over a static overlay with a catastrophic failure of
 /// `fail_fraction` (use `0.0` for the failure-free case).
+///
+/// The pull engine has no dense-path equivalent, so this experiment always
+/// runs the generic sequential engine: `params.engine` and `params.threads`
+/// have no effect here (the same applies to [`latency_ablation`], whose
+/// event-driven engine mutates the network).
 pub fn push_pull_extension(params: &ExperimentParams, fail_fraction: f64) -> Vec<PushPullRow> {
     use hybridcast_core::pull::{disseminate_push_pull, PullConfig};
 
@@ -336,13 +374,8 @@ pub fn push_pull_extension(params: &ExperimentParams, fail_fraction: f64) -> Vec
             let mut rounds = 0.0;
             let mut messages = 0.0;
             for &origin in &origins {
-                let report = disseminate_push_pull(
-                    &overlay,
-                    protocol.as_ref(),
-                    origin,
-                    pull_config,
-                    &mut rng,
-                );
+                let report =
+                    disseminate_push_pull(&overlay, &protocol, origin, pull_config, &mut rng);
                 push_miss += report.push.miss_ratio();
                 final_miss += report.miss_ratio();
                 rounds += report.pull_rounds as f64;
@@ -487,6 +520,10 @@ pub fn connectivity_ablation(
     let mut out = Vec::new();
     let mut rng = params.dissemination_rng();
 
+    // One master-seed tag per arm, incremented in arm order so no two arms
+    // ever share a per-run RNG stream however the arm list evolves.
+    let mut tag = 0u64;
+
     // Vicinity-maintained rings: 1, 2 and 3 independent rings (d-degree 2k).
     for rings in [1usize, 2, 3] {
         let config = SimConfig {
@@ -504,9 +541,10 @@ pub fn connectivity_ablation(
             &mut fail_rng,
         );
         let fanout = base_fanout + 2 * (rings - 1);
-        let protocol = RingCast::new(fanout);
-        let origins = random_origins(&overlay, params.runs, &mut rng);
-        let reports = run_disseminations(&overlay, &protocol, &origins, &mut rng);
+        let protocol = DenseSelector::ringcast(fanout);
+        let dense = dense_overlay(&overlay);
+        let reports = run_reports(&dense, &overlay, &protocol, params, tag, &mut rng);
+        tag += 1;
         out.push((
             format!("{rings}-ring RingCast"),
             AggregateStats::from_reports(&format!("RingCast x{rings}"), fanout, &reports),
@@ -529,9 +567,9 @@ pub fn connectivity_ablation(
         overlay.kill_node(victim);
     }
     let fanout = base_fanout + 2;
-    let protocol = RingCast::new(fanout);
-    let origins = random_origins(&overlay, params.runs, &mut rng);
-    let reports = run_disseminations(&overlay, &protocol, &origins, &mut rng);
+    let protocol = DenseSelector::ringcast(fanout);
+    let dense = DenseOverlay::from(&overlay);
+    let reports = run_reports(&dense, &overlay, &protocol, params, tag, &mut rng);
     out.push((
         "static Harary(4) hybrid".to_owned(),
         AggregateStats::from_reports("RingCast/H4", fanout, &reports),
@@ -574,6 +612,8 @@ pub fn view_length_ablation(
 mod tests {
     use super::*;
 
+    use crate::scenario::EngineKind;
+
     fn tiny() -> ExperimentParams {
         ExperimentParams {
             nodes: 200,
@@ -583,7 +623,34 @@ mod tests {
             seed: 5,
             churn_rate: 0.02,
             churn_max_cycles: 500,
+            engine: EngineKind::Dense,
+            threads: 2,
         }
+    }
+
+    #[test]
+    fn dense_results_are_thread_count_invariant_end_to_end() {
+        let mut sequential = tiny();
+        sequential.threads = 1;
+        let mut parallel = tiny();
+        parallel.threads = 4;
+        assert_eq!(
+            static_effectiveness(&sequential).rows,
+            static_effectiveness(&parallel).rows,
+            "thread count must never change experiment data"
+        );
+    }
+
+    #[test]
+    fn btree_engine_remains_selectable() {
+        let mut params = tiny();
+        params.engine = EngineKind::Btree;
+        params.fanouts = vec![2];
+        params.runs = 4;
+        let table = static_effectiveness(&params);
+        assert_eq!(table.rows.len(), 2);
+        let ring = table.row("RingCast", 2).unwrap();
+        assert_eq!(ring.complete_fraction, 1.0);
     }
 
     #[test]

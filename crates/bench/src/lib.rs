@@ -48,4 +48,4 @@ pub mod output;
 pub mod scenario;
 
 pub use cli::Args;
-pub use scenario::ExperimentParams;
+pub use scenario::{EngineKind, ExperimentParams};

@@ -1,15 +1,53 @@
 //! Builders for the three evaluation scenarios of Section 7.
 
+use std::fmt;
+use std::str::FromStr;
+
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use hybridcast_core::overlay::SnapshotOverlay;
+use hybridcast_core::overlay::{DenseOverlay, SnapshotOverlay};
 use hybridcast_sim::churn::{ChurnConfig, ChurnDriver};
 use hybridcast_sim::failure::kill_fraction_in_snapshot;
 use hybridcast_sim::{Network, SimConfig};
 
 use crate::cli::Args;
+
+/// Which dissemination engine an experiment runs on.
+///
+/// The dense engine is the default: it converts the frozen overlay to a
+/// [`DenseOverlay`] once and fans seeded runs across threads. The BTree
+/// engine is the original id-keyed sequential path, kept selectable
+/// (`--engine btree`) so the speedup can be measured on any machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Allocation-free CSR engine, parallel seeded runs (the default).
+    Dense,
+    /// Original `BTreeMap`/`BTreeSet` engine, sequential shared-RNG runs.
+    Btree,
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(EngineKind::Dense),
+            "btree" => Ok(EngineKind::Btree),
+            other => Err(format!("unknown engine '{other}', expected dense|btree")),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineKind::Dense => "dense",
+            EngineKind::Btree => "btree",
+        })
+    }
+}
 
 /// Common parameters of every experiment, derived from the command line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,6 +68,12 @@ pub struct ExperimentParams {
     /// Upper bound on churn warm-up cycles (the paper runs until every
     /// bootstrap node has been replaced, which the quick scale caps).
     pub churn_max_cycles: usize,
+    /// Which dissemination engine to run (`--engine dense|btree`).
+    pub engine: EngineKind,
+    /// Worker threads for the dense engine's seeded runs; 0 means "use the
+    /// machine's available parallelism". Results are identical for every
+    /// value (`--threads`).
+    pub threads: usize,
 }
 
 impl ExperimentParams {
@@ -44,6 +88,8 @@ impl ExperimentParams {
             seed: 1,
             churn_rate: 0.002,
             churn_max_cycles: 20_000,
+            engine: EngineKind::Dense,
+            threads: 0,
         }
     }
 
@@ -58,13 +104,15 @@ impl ExperimentParams {
             seed: 1,
             churn_rate: 0.002,
             churn_max_cycles: 3_000,
+            engine: EngineKind::Dense,
+            threads: 0,
         }
     }
 
     /// Builds parameters from command-line arguments: `--paper` selects the
     /// full scale, and `--nodes`, `--runs`, `--warmup`, `--fanouts`,
-    /// `--seed`, `--churn-rate`, `--churn-max-cycles` override individual
-    /// fields.
+    /// `--seed`, `--churn-rate`, `--churn-max-cycles`, `--engine`,
+    /// `--threads` override individual fields.
     ///
     /// # Errors
     ///
@@ -83,7 +131,19 @@ impl ExperimentParams {
             seed: args.get_or("seed", base.seed)?,
             churn_rate: args.get_or("churn-rate", base.churn_rate)?,
             churn_max_cycles: args.get_or("churn-max-cycles", base.churn_max_cycles)?,
+            engine: args.get_or("engine", base.engine)?,
+            threads: args.get_or("threads", base.threads)?,
         })
+    }
+
+    /// The number of dissemination worker threads to use: the `--threads`
+    /// override, or the machine's available parallelism when it is 0.
+    pub fn thread_count(&self) -> usize {
+        if self.threads == 0 {
+            hybridcast_core::experiment::default_threads()
+        } else {
+            self.threads
+        }
     }
 
     /// The simulator configuration corresponding to these parameters.
@@ -129,6 +189,13 @@ pub fn churn_overlay(params: &ExperimentParams) -> SnapshotOverlay {
     overlay
 }
 
+/// Converts a frozen overlay to the dense CSR layout the allocation-free
+/// engine runs over. One conversion serves every (protocol, fanout)
+/// configuration of an experiment.
+pub fn dense_overlay(overlay: &SnapshotOverlay) -> DenseOverlay {
+    DenseOverlay::from(overlay)
+}
+
 /// Like [`churn_overlay`] but also reports how many churn cycles were run.
 pub fn churn_overlay_with_cycles(params: &ExperimentParams) -> (SnapshotOverlay, usize) {
     let mut network = Network::new(params.sim_config(), params.seed);
@@ -153,6 +220,8 @@ mod tests {
             seed: 3,
             churn_rate: 0.02,
             churn_max_cycles: 400,
+            engine: EngineKind::Dense,
+            threads: 2,
         }
     }
 
@@ -174,6 +243,24 @@ mod tests {
 
         let paper = Args::parse(["--paper"]).unwrap();
         assert_eq!(ExperimentParams::from_args(&paper).unwrap().nodes, 10_000);
+    }
+
+    #[test]
+    fn engine_and_threads_parse_from_args() {
+        let args = Args::parse(["--engine", "btree", "--threads", "3"]).unwrap();
+        let params = ExperimentParams::from_args(&args).unwrap();
+        assert_eq!(params.engine, EngineKind::Btree);
+        assert_eq!(params.threads, 3);
+        assert_eq!(params.thread_count(), 3);
+
+        let auto = ExperimentParams::quick();
+        assert_eq!(auto.engine, EngineKind::Dense);
+        assert!(auto.thread_count() >= 1, "auto thread count");
+
+        let bad = Args::parse(["--engine", "warp"]).unwrap();
+        assert!(ExperimentParams::from_args(&bad).is_err());
+        assert_eq!("dense".parse::<EngineKind>().unwrap(), EngineKind::Dense);
+        assert_eq!(EngineKind::Btree.to_string(), "btree");
     }
 
     #[test]

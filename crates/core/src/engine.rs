@@ -16,8 +16,8 @@ use rand::RngCore;
 use hybridcast_graph::NodeId;
 
 use crate::metrics::DisseminationReport;
-use crate::overlay::Overlay;
-use crate::protocols::GossipTargetSelector;
+use crate::overlay::{DenseBits, DenseOverlay, Overlay, NO_NODE};
+use crate::protocols::{DenseSelector, GossipTargetSelector};
 
 /// Runs one complete dissemination of a message originating at `origin`
 /// over the given overlay, using `selector` to pick gossip targets, and
@@ -116,15 +116,194 @@ pub fn disseminate(
         .filter(|id| !notified.contains(id))
         .collect();
 
-    // Trim trailing hops that notified nobody (the final sweep of redundant
-    // messages), keeping the vectors aligned: entry h describes hop h.
-    per_hop_new.truncate(last_hop + 1);
-    per_hop_messages.truncate(last_hop + 1);
+    // The vectors deliberately keep the final redundant-sweep hop (the hop
+    // after `last_hop`, in which the last-notified nodes forward without
+    // reaching anyone new): dropping it would silently lose its messages
+    // and break `per_hop_messages.iter().sum() == total_messages()`.
 
     DisseminationReport {
         origin,
         population,
         reached: notified.len(),
+        last_hop,
+        per_hop_new,
+        per_hop_messages,
+        messages_to_virgin,
+        messages_to_notified,
+        messages_to_dead,
+        received_counts,
+        forwarded_counts,
+        unreached,
+    }
+}
+
+/// Reusable scratch buffers for [`disseminate_dense`].
+///
+/// One complete dissemination over a warm scratch performs no heap
+/// allocation in its hot loop: the notified set is a bitset, the per-node
+/// counters are flat `u32` arrays, and the frontier / target / draw buffers
+/// are reused across hops and across runs. Create one per worker thread and
+/// pass it to every run.
+#[derive(Debug, Clone, Default)]
+pub struct DenseScratch {
+    notified: DenseBits,
+    received: Vec<u32>,
+    forwarded: Vec<u32>,
+    frontier: Vec<(u32, u32)>,
+    next_frontier: Vec<(u32, u32)>,
+    targets: Vec<u32>,
+    pool: Vec<u32>,
+}
+
+impl DenseScratch {
+    /// Creates an empty scratch; buffers grow to the overlay size on first
+    /// use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, len: usize) {
+        self.notified.reset(len);
+        self.received.clear();
+        self.received.resize(len, 0);
+        self.forwarded.clear();
+        self.forwarded.resize(len, 0);
+        self.frontier.clear();
+        self.next_frontier.clear();
+        self.targets.clear();
+        self.pool.clear();
+    }
+}
+
+/// Runs one complete dissemination over a [`DenseOverlay`]: the
+/// allocation-free rewrite of [`disseminate`].
+///
+/// The hop-synchronous model, the accounting and the RNG draw sequence are
+/// identical to the generic engine's; given the same overlay (converted),
+/// selector, origin and seed, the returned [`DisseminationReport`] is equal
+/// field for field. The difference is purely mechanical: node identities are
+/// dense `u32` indices, link access is borrowed slices, and all per-run
+/// state lives in the caller-provided [`DenseScratch`].
+///
+/// # Panics
+///
+/// Panics if `origin` is not a live node of the overlay.
+///
+/// # Example
+///
+/// ```
+/// use hybridcast_core::engine::{disseminate, disseminate_dense, DenseScratch};
+/// use hybridcast_core::overlay::{DenseOverlay, StaticOverlay};
+/// use hybridcast_core::protocols::DenseSelector;
+/// use hybridcast_graph::{builders, NodeId};
+/// use rand::SeedableRng;
+///
+/// let ids: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+/// let sparse = StaticOverlay::deterministic(&builders::bidirectional_ring(&ids));
+/// let dense = DenseOverlay::from(&sparse);
+/// let mut scratch = DenseScratch::new();
+/// let selector = DenseSelector::DeterministicFlooding;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let report = disseminate_dense(&dense, &selector, ids[0], &mut rng, &mut scratch);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// assert_eq!(report, disseminate(&sparse, &selector, ids[0], &mut rng));
+/// ```
+pub fn disseminate_dense(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    rng: &mut dyn RngCore,
+    scratch: &mut DenseScratch,
+) -> DisseminationReport {
+    let origin_idx = overlay
+        .index_of(origin)
+        .filter(|&idx| overlay.is_live_idx(idx));
+    let Some(origin_idx) = origin_idx else {
+        panic!("dissemination origin {origin} is not a live node");
+    };
+
+    let len = overlay.len();
+    scratch.reset(len);
+    let DenseScratch {
+        notified,
+        received,
+        forwarded,
+        frontier,
+        next_frontier,
+        targets,
+        pool,
+    } = scratch;
+
+    notified.set(origin_idx);
+    frontier.push((origin_idx, NO_NODE));
+
+    let mut per_hop_new = vec![1usize];
+    let mut per_hop_messages = vec![0usize];
+    let mut messages_to_virgin = 0usize;
+    let mut messages_to_notified = 0usize;
+    let mut messages_to_dead = 0usize;
+    let mut last_hop = 0usize;
+    let mut hop = 0usize;
+
+    while !frontier.is_empty() {
+        hop += 1;
+        let mut hop_messages = 0usize;
+        let mut hop_new = 0usize;
+
+        for &(node, from) in frontier.iter() {
+            selector.select_dense(overlay, node, from, rng, targets, pool);
+            forwarded[node as usize] += targets.len() as u32;
+            hop_messages += targets.len();
+            for &target in targets.iter() {
+                if !overlay.is_live_idx(target) {
+                    messages_to_dead += 1;
+                    continue;
+                }
+                received[target as usize] += 1;
+                if notified.set(target) {
+                    messages_to_virgin += 1;
+                    hop_new += 1;
+                    next_frontier.push((target, node));
+                } else {
+                    messages_to_notified += 1;
+                }
+            }
+        }
+
+        per_hop_messages.push(hop_messages);
+        per_hop_new.push(hop_new);
+        if hop_new > 0 {
+            last_hop = hop;
+        }
+        std::mem::swap(frontier, next_frontier);
+        next_frontier.clear();
+    }
+
+    // Convert back to the id-keyed report all metrics and figure code is
+    // written against. This is the only part that allocates, and it is
+    // O(population) — independent of message count.
+    let mut received_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut forwarded_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut unreached: Vec<NodeId> = Vec::new();
+    let mut reached = 0usize;
+    for idx in 0..len as u32 {
+        let id = overlay.node_id(idx);
+        if received[idx as usize] > 0 {
+            received_counts.insert(id, received[idx as usize] as usize);
+        }
+        if notified.get(idx) {
+            reached += 1;
+            forwarded_counts.insert(id, forwarded[idx as usize] as usize);
+        } else if overlay.is_live_idx(idx) {
+            unreached.push(id);
+        }
+    }
+
+    DisseminationReport {
+        origin,
+        population: overlay.live_len(),
+        reached,
         last_hop,
         per_hop_new,
         per_hop_messages,
@@ -284,13 +463,117 @@ mod tests {
         let overlay = warmed_overlay(200, 11);
         let origin = overlay.live_node_ids()[3];
         let report = disseminate(&overlay, &RingCast::new(3), origin, &mut rng(12));
-        assert_eq!(report.per_hop_new.len(), report.last_hop + 1);
-        assert_eq!(report.per_hop_messages.len(), report.last_hop + 1);
+        // The series cover every hop including the final redundant sweep
+        // (one hop past last_hop, notifying nobody new).
+        assert_eq!(report.per_hop_new.len(), report.per_hop_messages.len());
+        assert_eq!(report.per_hop_new.len(), report.last_hop + 2);
+        assert_eq!(*report.per_hop_new.last().unwrap(), 0);
         assert_eq!(report.per_hop_new.iter().sum::<usize>(), report.reached);
+        assert_eq!(
+            report.per_hop_messages.iter().sum::<usize>(),
+            report.total_messages(),
+            "per-hop messages must account for every message sent"
+        );
         let cumulative = report.cumulative_reached();
         assert_eq!(*cumulative.last().unwrap(), report.reached);
         let not_reached = report.not_reached_after_hop();
         assert!(not_reached.last().unwrap().abs() < 1e-12, "complete");
+    }
+
+    #[test]
+    fn dense_engine_matches_generic_engine_on_warmed_overlay() {
+        let overlay = warmed_overlay(250, 21);
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let origin = overlay.live_node_ids()[9];
+        let mut scratch = DenseScratch::new();
+        for (selector, dense_selector) in [
+            (
+                Box::new(RandCast::new(3)) as Box<dyn GossipTargetSelector>,
+                DenseSelector::randcast(3),
+            ),
+            (Box::new(RingCast::new(4)), DenseSelector::ringcast(4)),
+            (Box::new(Flooding::new()), DenseSelector::Flooding),
+        ] {
+            let generic = disseminate(&overlay, selector.as_ref(), origin, &mut rng(77));
+            let fast =
+                disseminate_dense(&dense, &dense_selector, origin, &mut rng(77), &mut scratch);
+            assert_eq!(generic, fast, "{} reports diverge", selector.name());
+        }
+    }
+
+    #[test]
+    fn dense_engine_accounts_dead_nodes_like_generic_engine() {
+        let ring = builders::bidirectional_ring(&ids(30));
+        let mut overlay = StaticOverlay::deterministic(&ring);
+        for dead in [4u64, 11, 12, 25] {
+            overlay.kill_node(n(dead));
+        }
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let mut scratch = DenseScratch::new();
+        let generic = disseminate(&overlay, &DeterministicFlooding::new(), n(0), &mut rng(5));
+        let fast = disseminate_dense(
+            &dense,
+            &DenseSelector::DeterministicFlooding,
+            n(0),
+            &mut rng(5),
+            &mut scratch,
+        );
+        assert_eq!(generic, fast);
+        assert!(fast.messages_to_dead >= 1);
+        assert!(!fast.unreached.is_empty(), "the ring is partitioned");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live node")]
+    fn dense_dead_origin_panics() {
+        let mut overlay = StaticOverlay::new();
+        overlay.add_d_link(n(0), n(1));
+        overlay.kill_node(n(1));
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let mut scratch = DenseScratch::new();
+        disseminate_dense(
+            &dense,
+            &DenseSelector::Flooding,
+            n(1),
+            &mut rng(0),
+            &mut scratch,
+        );
+    }
+
+    #[test]
+    fn dense_scratch_is_reusable_across_runs_and_overlays() {
+        let mut scratch = DenseScratch::new();
+        let big = warmed_overlay(150, 30);
+        let big_dense = crate::overlay::DenseOverlay::from(&big);
+        let origin = big.live_node_ids()[0];
+        let first = disseminate_dense(
+            &big_dense,
+            &DenseSelector::ringcast(3),
+            origin,
+            &mut rng(1),
+            &mut scratch,
+        );
+        // A smaller overlay afterwards: buffers shrink correctly.
+        let small = StaticOverlay::deterministic(&builders::bidirectional_ring(&ids(10)));
+        let small_dense = crate::overlay::DenseOverlay::from(&small);
+        let report = disseminate_dense(
+            &small_dense,
+            &DenseSelector::DeterministicFlooding,
+            n(0),
+            &mut rng(2),
+            &mut scratch,
+        );
+        assert!(report.is_complete());
+        assert_eq!(report.population, 10);
+        // And the big overlay again, identical to the first run.
+        let again = disseminate_dense(
+            &big_dense,
+            &DenseSelector::ringcast(3),
+            origin,
+            &mut rng(1),
+            &mut scratch,
+        );
+        assert_eq!(first, again);
     }
 
     #[test]

@@ -8,15 +8,16 @@
 //! hop count, virgin/redundant message counts).
 
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::NodeId;
 
-use crate::engine::disseminate;
+use crate::engine::{disseminate, disseminate_dense, DenseScratch};
 use crate::metrics::DisseminationReport;
-use crate::overlay::Overlay;
-use crate::protocols::GossipTargetSelector;
+use crate::overlay::{DenseOverlay, Overlay};
+use crate::protocols::{DenseSelector, GossipTargetSelector};
 
 /// Aggregate statistics over a set of disseminations with identical
 /// configuration (same overlay, protocol and fanout).
@@ -115,6 +116,103 @@ where
         .iter()
         .map(|&origin| disseminate(overlay, selector, origin, rng))
         .collect()
+}
+
+/// Derives the RNG seed of run `run` from a master seed (SplitMix64-style
+/// mixing).
+///
+/// Every run of a seeded experiment is a pure function of
+/// `(master_seed, run)` — not of any shared RNG stream — which is what makes
+/// [`run_seeded_disseminations`] bit-identical at any thread count. The
+/// same mixer is also used to decorrelate experiment configurations (one
+/// master seed per protocol/fanout pair) in the figure harness.
+pub fn run_seed(master_seed: u64, run: u64) -> u64 {
+    let mut z = master_seed
+        ^ run
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A sensible worker count for [`run_seeded_disseminations`]: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `runs` independent disseminations of `selector` over a dense
+/// overlay, fanned out across `threads` worker threads, and returns the
+/// reports in run order.
+///
+/// Run `r` draws its origin and all dissemination randomness from a private
+/// `ChaCha8` generator seeded with [`run_seed`]`(master_seed, r)`, so the
+/// result vector is **bit-identical for every thread count** — `threads`
+/// only decides wall-clock time, never data. Each worker reuses one
+/// [`DenseScratch`], so the hot path stays allocation-free.
+///
+/// # Panics
+///
+/// Panics if the overlay has no live nodes, or if a worker thread panics.
+pub fn run_seeded_disseminations(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    runs: usize,
+    master_seed: u64,
+    threads: usize,
+) -> Vec<DisseminationReport> {
+    let live = overlay.live_indices();
+    assert!(!live.is_empty(), "overlay has no live nodes");
+    let live = live.as_slice();
+
+    let one_run = move |run: usize, scratch: &mut DenseScratch| {
+        let mut rng = ChaCha8Rng::seed_from_u64(run_seed(master_seed, run as u64));
+        let origin = overlay.node_id(live[rng.gen_range(0..live.len())]);
+        disseminate_dense(overlay, selector, origin, &mut rng, scratch)
+    };
+
+    let threads = threads.max(1).min(runs.max(1));
+    if threads == 1 {
+        let mut scratch = DenseScratch::new();
+        return (0..runs).map(|run| one_run(run, &mut scratch)).collect();
+    }
+
+    let chunk = runs.div_ceil(threads);
+    let one_run = &one_run;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|worker| {
+                let lo = worker * chunk;
+                let hi = runs.min(lo + chunk);
+                scope.spawn(move || {
+                    let mut scratch = DenseScratch::new();
+                    (lo..hi)
+                        .map(|run| one_run(run, &mut scratch))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("dissemination worker panicked"))
+            .collect()
+    })
+}
+
+/// Convenience wrapper around [`run_seeded_disseminations`]: runs and
+/// aggregates, using [`default_threads`] workers.
+pub fn run_parallel_experiment(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    runs: usize,
+    master_seed: u64,
+) -> AggregateStats {
+    let reports =
+        run_seeded_disseminations(overlay, selector, runs, master_seed, default_threads());
+    AggregateStats::from_reports(selector.name(), selector.fanout(), &reports)
 }
 
 /// Convenience wrapper: runs `runs` disseminations from random origins and
@@ -218,6 +316,45 @@ mod tests {
         // Virgin messages are bounded by the population.
         assert!(high.mean_messages_to_virgin <= high.population as f64);
         assert!(high.mean_messages_to_notified > low.mean_messages_to_notified);
+    }
+
+    #[test]
+    fn seeded_runs_are_thread_count_invariant() {
+        let overlay = warmed_overlay(200, 10);
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let selector = DenseSelector::ringcast(3);
+        let sequential = run_seeded_disseminations(&dense, &selector, 13, 42, 1);
+        for threads in [2, 3, 8, 64] {
+            let parallel = run_seeded_disseminations(&dense, &selector, 13, 42, threads);
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+        assert_eq!(sequential.len(), 13);
+    }
+
+    #[test]
+    fn seeded_runs_depend_only_on_master_seed_and_index() {
+        let overlay = warmed_overlay(150, 11);
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let selector = DenseSelector::randcast(4);
+        // Run r is a pure function of (master, r): a longer experiment is a
+        // prefix-extension of a shorter one, and a different master seed
+        // changes the runs.
+        let short = run_seeded_disseminations(&dense, &selector, 4, 7, 2);
+        let long = run_seeded_disseminations(&dense, &selector, 9, 7, 3);
+        assert_eq!(short.as_slice(), &long[..4]);
+        let other = run_seeded_disseminations(&dense, &selector, 4, 8, 2);
+        assert_ne!(short, other);
+    }
+
+    #[test]
+    fn parallel_experiment_aggregates_like_from_reports() {
+        let overlay = warmed_overlay(150, 12);
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let selector = DenseSelector::ringcast(2);
+        let stats = run_parallel_experiment(&dense, &selector, 10, 5);
+        let reports = run_seeded_disseminations(&dense, &selector, 10, 5, 1);
+        assert_eq!(stats, AggregateStats::from_reports("RingCast", 2, &reports));
+        assert_eq!(stats.complete_fraction, 1.0, "RingCast is complete");
     }
 
     #[test]

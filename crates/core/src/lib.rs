@@ -17,7 +17,11 @@
 //!   and Harary-graph d-link sets (the reliability extension of Section 8).
 //! * [`engine`] — the hop-synchronous dissemination model of Section 7:
 //!   hop 0 is the origin, hop `k + 1` notifies the gossip targets of every
-//!   node first notified at hop `k`.
+//!   node first notified at hop `k`. Two implementations share the model:
+//!   the generic [`engine::disseminate`] over any [`overlay::Overlay`], and
+//!   the allocation-free [`engine::disseminate_dense`] over a CSR
+//!   [`overlay::DenseOverlay`] — bit-identical reports, orders of magnitude
+//!   apart in throughput.
 //! * [`metrics`] — per-dissemination accounting: hit/miss ratio,
 //!   completeness, per-hop progress, virgin vs. redundant messages, load
 //!   distribution.
@@ -65,7 +69,8 @@ pub mod protocols;
 pub mod pubsub;
 pub mod pull;
 
-pub use engine::disseminate;
+pub use engine::{disseminate, disseminate_dense, DenseScratch};
+pub use experiment::{run_parallel_experiment, run_seed, run_seeded_disseminations};
 pub use metrics::DisseminationReport;
-pub use overlay::{Overlay, SnapshotOverlay, StaticOverlay};
-pub use protocols::{Flooding, GossipTargetSelector, RandCast, RingCast};
+pub use overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
+pub use protocols::{DenseSelector, Flooding, GossipTargetSelector, RandCast, RingCast};

@@ -35,9 +35,15 @@ pub struct DisseminationReport {
     pub reached: usize,
     /// Hop count at which the last newly notified node was reached.
     pub last_hop: usize,
-    /// Newly notified nodes per hop; index 0 is the origin itself (always 1).
+    /// Newly notified nodes per hop; index 0 is the origin itself (always
+    /// 1). The series runs one hop past [`DisseminationReport::last_hop`]:
+    /// the final entry is the redundant sweep in which the last-notified
+    /// nodes forward without reaching anyone new, so it is always 0.
     pub per_hop_new: Vec<usize>,
     /// Messages sent per hop; index 0 is 0 (the origin sends at hop 1).
+    /// Aligned with [`DisseminationReport::per_hop_new`] and covering the
+    /// trailing redundant sweep, so the entries sum to exactly
+    /// [`DisseminationReport::total_messages`].
     pub per_hop_messages: Vec<usize>,
     /// Messages that reached a live node which had not yet seen the message.
     pub messages_to_virgin: usize,
@@ -142,8 +148,10 @@ mod tests {
             population: 10,
             reached: 8,
             last_hop: 3,
-            per_hop_new: vec![1, 3, 3, 1],
-            per_hop_messages: vec![0, 3, 9, 6],
+            // One entry past last_hop: the final redundant sweep notifies
+            // nobody, and the per-hop messages sum to total_messages().
+            per_hop_new: vec![1, 3, 3, 1, 0],
+            per_hop_messages: vec![0, 3, 9, 4, 2],
             messages_to_virgin: 7,
             messages_to_notified: 9,
             messages_to_dead: 2,
@@ -191,10 +199,16 @@ mod tests {
     #[test]
     fn per_hop_progress() {
         let r = sample_report();
-        assert_eq!(r.cumulative_reached(), vec![1, 4, 7, 8]);
+        assert_eq!(r.cumulative_reached(), vec![1, 4, 7, 8, 8]);
         let not_reached = r.not_reached_after_hop();
         assert!((not_reached[0] - 0.9).abs() < 1e-12);
         assert!((not_reached[3] - 0.2).abs() < 1e-12);
+        assert!((not_reached[4] - 0.2).abs() < 1e-12, "sweep hop is flat");
+        assert_eq!(
+            r.per_hop_messages.iter().sum::<usize>(),
+            r.total_messages(),
+            "fixture obeys the per-hop accounting invariant"
+        );
     }
 
     #[test]

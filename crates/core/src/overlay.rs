@@ -12,9 +12,12 @@
 //! * [`StaticOverlay`] — overlays assembled directly from
 //!   `hybridcast_graph` constructions (rings, Harary graphs, random
 //!   graphs), used for the deterministic baselines of Section 3 and in unit
-//!   tests.
+//!   tests, and
+//! * [`DenseOverlay`] — a frozen, index-based compressed-sparse-row copy of
+//!   either of the above, the input of the allocation-free dissemination
+//!   hot path ([`crate::engine::disseminate_dense`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use hybridcast_graph::{DiGraph, NodeId};
 use hybridcast_sim::OverlaySnapshot;
@@ -200,12 +203,302 @@ impl Overlay for StaticOverlay {
             .collect()
     }
 
+    fn live_count(&self) -> usize {
+        self.nodes.values().filter(|&&alive| alive).count()
+    }
+
     fn r_links(&self, node: NodeId) -> Vec<NodeId> {
         self.r_links.get(&node).cloned().unwrap_or_default()
     }
 
     fn d_links(&self, node: NodeId) -> Vec<NodeId> {
         self.d_links.get(&node).cloned().unwrap_or_default()
+    }
+}
+
+/// Sentinel dense index meaning "no node" (used for the origin's sender).
+pub(crate) const NO_NODE: u32 = u32::MAX;
+
+/// A fixed-capacity bitset over dense node indices.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DenseBits {
+    words: Vec<u64>,
+}
+
+impl DenseBits {
+    /// Clears the set and resizes it to hold `len` bits.
+    pub(crate) fn reset(&mut self, len: usize) {
+        let words = len.div_ceil(64);
+        self.words.clear();
+        self.words.resize(words, 0);
+    }
+
+    pub(crate) fn get(&self, bit: u32) -> bool {
+        self.words[bit as usize / 64] & (1 << (bit as usize % 64)) != 0
+    }
+
+    /// Sets the bit; returns `true` if it was previously clear.
+    pub(crate) fn set(&mut self, bit: u32) -> bool {
+        let word = &mut self.words[bit as usize / 64];
+        let mask = 1 << (bit as usize % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    pub(crate) fn clear(&mut self, bit: u32) {
+        self.words[bit as usize / 64] &= !(1 << (bit as usize % 64));
+    }
+}
+
+/// A frozen overlay in compressed-sparse-row (CSR) layout: nodes are dense
+/// `u32` indices into flat arrays, links are contiguous index slices, and
+/// liveness is a bitset.
+///
+/// This is the input of the allocation-free dissemination hot path
+/// ([`crate::engine::disseminate_dense`]): where the [`Overlay`] trait hands
+/// out a fresh `Vec<NodeId>` per link query, `DenseOverlay` hands out
+/// borrowed `&[u32]` slices, so a dissemination touches no allocator at all
+/// once its scratch buffers are warm.
+///
+/// The node universe covers every node that appears anywhere — live nodes
+/// *and* dead link targets — sorted by ascending [`NodeId`], so reports
+/// converted back to id-keyed form are ordered identically to the generic
+/// engine's. Build one with [`DenseOverlay::from_snapshot`],
+/// [`DenseOverlay::from_graphs`], or the `From` impls for
+/// [`SnapshotOverlay`] and [`StaticOverlay`]; all of them preserve per-node
+/// link order, which keeps random draws bit-identical between engines.
+#[derive(Debug, Clone)]
+pub struct DenseOverlay {
+    /// Dense index -> node id, sorted ascending.
+    ids: Vec<NodeId>,
+    /// Node id -> dense index (the inverse of `ids`).
+    index: BTreeMap<NodeId, u32>,
+    /// Liveness bitset over dense indices.
+    live: DenseBits,
+    live_count: usize,
+    r_offsets: Vec<u32>,
+    r_targets: Vec<u32>,
+    d_offsets: Vec<u32>,
+    d_targets: Vec<u32>,
+}
+
+impl DenseOverlay {
+    /// Builds the overlay from per-node link lists. `entries` must be sorted
+    /// by ascending id with no duplicates; link targets absent from
+    /// `entries` are materialised as dead nodes.
+    fn build(entries: &[(NodeId, bool, &[NodeId], &[NodeId])]) -> Self {
+        let mut universe: BTreeSet<NodeId> = entries.iter().map(|&(id, ..)| id).collect();
+        for (_, _, r, d) in entries {
+            universe.extend(r.iter().copied());
+            universe.extend(d.iter().copied());
+        }
+        let ids: Vec<NodeId> = universe.into_iter().collect();
+        let index: BTreeMap<NodeId, u32> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+
+        let mut live = DenseBits::default();
+        live.reset(ids.len());
+        let mut live_count = 0usize;
+        let mut r_links: Vec<&[NodeId]> = vec![&[]; ids.len()];
+        let mut d_links: Vec<&[NodeId]> = vec![&[]; ids.len()];
+        for &(id, alive, r, d) in entries {
+            let idx = index[&id];
+            if alive {
+                live.set(idx);
+                live_count += 1;
+            }
+            r_links[idx as usize] = r;
+            d_links[idx as usize] = d;
+        }
+
+        let pack = |links: &[&[NodeId]]| -> (Vec<u32>, Vec<u32>) {
+            let total: usize = links.iter().map(|l| l.len()).sum();
+            let mut offsets = Vec::with_capacity(links.len() + 1);
+            let mut targets = Vec::with_capacity(total);
+            offsets.push(0u32);
+            for l in links {
+                targets.extend(l.iter().map(|id| index[id]));
+                offsets.push(u32::try_from(targets.len()).expect("link count fits in u32"));
+            }
+            (offsets, targets)
+        };
+        let (r_offsets, r_targets) = pack(&r_links);
+        let (d_offsets, d_targets) = pack(&d_links);
+
+        DenseOverlay {
+            ids,
+            index,
+            live,
+            live_count,
+            r_offsets,
+            r_targets,
+            d_offsets,
+            d_targets,
+        }
+    }
+
+    /// Builds a dense copy of a simulator snapshot. Live nodes keep their
+    /// snapshot link order; link targets that are not live in the snapshot
+    /// become dead nodes with no outgoing links.
+    pub fn from_snapshot(snapshot: &OverlaySnapshot) -> Self {
+        let entries: Vec<(NodeId, bool, &[NodeId], &[NodeId])> = snapshot
+            .nodes()
+            .map(|(id, node)| (id, true, node.r_links.as_slice(), node.d_links.as_slice()))
+            .collect();
+        Self::build(&entries)
+    }
+
+    /// Builds a dense overlay whose d-links come from `d_graph` and r-links
+    /// from `r_graph`; the node set is the union of both graphs, all alive
+    /// (the dense analogue of [`StaticOverlay::from_graphs`]).
+    pub fn from_graphs(d_graph: &DiGraph, r_graph: &DiGraph) -> Self {
+        let nodes: BTreeSet<NodeId> = d_graph.nodes().chain(r_graph.nodes()).collect();
+        let links: Vec<(Vec<NodeId>, Vec<NodeId>)> = nodes
+            .iter()
+            .map(|&id| (r_graph.successors_vec(id), d_graph.successors_vec(id)))
+            .collect();
+        let entries: Vec<(NodeId, bool, &[NodeId], &[NodeId])> = nodes
+            .iter()
+            .zip(&links)
+            .map(|(&id, (r, d))| (id, true, r.as_slice(), d.as_slice()))
+            .collect();
+        Self::build(&entries)
+    }
+
+    /// Total number of nodes (live and dead).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the overlay has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of live nodes.
+    pub fn live_len(&self) -> usize {
+        self.live_count
+    }
+
+    /// The id of the node at a dense index.
+    pub fn node_id(&self, idx: u32) -> NodeId {
+        self.ids[idx as usize]
+    }
+
+    /// The dense index of a node id, if the node exists in the overlay.
+    pub fn index_of(&self, id: NodeId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// Whether the node at a dense index is alive.
+    pub fn is_live_idx(&self, idx: u32) -> bool {
+        self.live.get(idx)
+    }
+
+    /// The node's outgoing random links, as a borrowed index slice.
+    pub fn r_links_of(&self, idx: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.r_offsets[idx as usize],
+            self.r_offsets[idx as usize + 1],
+        );
+        &self.r_targets[lo as usize..hi as usize]
+    }
+
+    /// The node's outgoing deterministic links, as a borrowed index slice.
+    pub fn d_links_of(&self, idx: u32) -> &[u32] {
+        let (lo, hi) = (
+            self.d_offsets[idx as usize],
+            self.d_offsets[idx as usize + 1],
+        );
+        &self.d_targets[lo as usize..hi as usize]
+    }
+
+    /// The dense indices of all live nodes, ascending (by id).
+    pub fn live_indices(&self) -> Vec<u32> {
+        (0..self.ids.len() as u32)
+            .filter(|&i| self.live.get(i))
+            .collect()
+    }
+
+    /// Marks a node as dead (catastrophic-failure experiments kill nodes
+    /// after freezing). Its links stay in place as dead links, exactly like
+    /// [`StaticOverlay::kill_node`]. Returns `true` if the node was alive.
+    pub fn kill_node(&mut self, id: NodeId) -> bool {
+        match self.index_of(id) {
+            Some(idx) if self.live.get(idx) => {
+                self.live.clear(idx);
+                self.live_count -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl From<&OverlaySnapshot> for DenseOverlay {
+    fn from(snapshot: &OverlaySnapshot) -> Self {
+        DenseOverlay::from_snapshot(snapshot)
+    }
+}
+
+impl From<&SnapshotOverlay> for DenseOverlay {
+    fn from(overlay: &SnapshotOverlay) -> Self {
+        DenseOverlay::from_snapshot(overlay.snapshot())
+    }
+}
+
+impl From<&StaticOverlay> for DenseOverlay {
+    fn from(overlay: &StaticOverlay) -> Self {
+        static EMPTY: &[NodeId] = &[];
+        let entries: Vec<(NodeId, bool, &[NodeId], &[NodeId])> = overlay
+            .nodes
+            .iter()
+            .map(|(&id, &alive)| {
+                let r = overlay.r_links.get(&id).map_or(EMPTY, |v| v.as_slice());
+                let d = overlay.d_links.get(&id).map_or(EMPTY, |v| v.as_slice());
+                (id, alive, r, d)
+            })
+            .collect();
+        DenseOverlay::build(&entries)
+    }
+}
+
+impl Overlay for DenseOverlay {
+    fn is_live(&self, node: NodeId) -> bool {
+        self.index_of(node).is_some_and(|idx| self.live.get(idx))
+    }
+
+    fn live_node_ids(&self) -> Vec<NodeId> {
+        (0..self.ids.len() as u32)
+            .filter(|&i| self.live.get(i))
+            .map(|i| self.ids[i as usize])
+            .collect()
+    }
+
+    fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    fn r_links(&self, node: NodeId) -> Vec<NodeId> {
+        self.index_of(node).map_or_else(Vec::new, |idx| {
+            self.r_links_of(idx)
+                .iter()
+                .map(|&t| self.ids[t as usize])
+                .collect()
+        })
+    }
+
+    fn d_links(&self, node: NodeId) -> Vec<NodeId> {
+        self.index_of(node).map_or_else(Vec::new, |idx| {
+            self.d_links_of(idx)
+                .iter()
+                .map(|&t| self.ids[t as usize])
+                .collect()
+        })
     }
 }
 
@@ -271,6 +564,79 @@ mod tests {
         overlay.add_d_link(n(0), n(2));
         assert_eq!(overlay.r_links(n(0)), vec![n(1)]);
         assert_eq!(overlay.d_links(n(0)), vec![n(2)]);
+    }
+
+    #[test]
+    fn dense_overlay_mirrors_static_overlay() {
+        let ring = builders::bidirectional_ring(&ids(8));
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(2);
+        let random = builders::random_out_degree(&ids(8), 3, &mut rng);
+        let mut sparse = StaticOverlay::from_graphs(&ring, &random);
+        sparse.kill_node(n(5));
+        let dense = DenseOverlay::from(&sparse);
+
+        assert_eq!(dense.len(), 8);
+        assert_eq!(dense.live_len(), 7);
+        assert_eq!(dense.live_count(), sparse.live_count());
+        assert_eq!(dense.live_node_ids(), sparse.live_node_ids());
+        for id in ids(8) {
+            assert_eq!(dense.is_live(id), sparse.is_live(id), "{id}");
+            assert_eq!(dense.r_links(id), sparse.r_links(id), "{id} r-links");
+            assert_eq!(dense.d_links(id), sparse.d_links(id), "{id} d-links");
+            let idx = dense.index_of(id).unwrap();
+            assert_eq!(dense.node_id(idx), id);
+            assert_eq!(dense.r_links_of(idx).len(), sparse.r_links(id).len());
+        }
+        assert!(dense.index_of(n(99)).is_none());
+        assert!(!dense.is_live(n(99)));
+    }
+
+    #[test]
+    fn dense_overlay_materialises_dead_link_targets() {
+        // A link to an unregistered node: the generic overlay reports it as
+        // not live; the dense overlay must index it as a dead node so the
+        // engine can account messages_to_dead.
+        let mut sparse = StaticOverlay::new();
+        sparse.add_r_link(n(0), n(7));
+        let dense = DenseOverlay::from(&sparse);
+        assert_eq!(dense.len(), 2, "n0 plus the dead target n7");
+        assert_eq!(dense.live_len(), 1);
+        let seven = dense.index_of(n(7)).unwrap();
+        assert!(!dense.is_live_idx(seven));
+        assert!(dense.r_links_of(seven).is_empty());
+    }
+
+    #[test]
+    fn dense_overlay_from_snapshot_preserves_link_order() {
+        let mut net = Network::new(
+            SimConfig {
+                nodes: 60,
+                ..SimConfig::default()
+            },
+            9,
+        );
+        net.run_cycles(50);
+        let snapshot = net.overlay_snapshot();
+        let dense = DenseOverlay::from_snapshot(&snapshot);
+        assert_eq!(dense.live_len(), 60);
+        for id in snapshot.live_nodes() {
+            assert_eq!(dense.r_links(id), snapshot.r_links(id), "{id} order");
+            assert_eq!(dense.d_links(id), snapshot.d_links(id), "{id} order");
+        }
+        assert_eq!(dense.live_indices().len(), 60);
+    }
+
+    #[test]
+    fn dense_kill_node_matches_static_kill_semantics() {
+        let ring = builders::bidirectional_ring(&ids(5));
+        let mut dense = DenseOverlay::from_graphs(&ring, &hybridcast_graph::DiGraph::new());
+        assert!(dense.kill_node(n(2)));
+        assert!(!dense.kill_node(n(2)), "already dead");
+        assert!(!dense.kill_node(n(9)), "unknown");
+        assert_eq!(dense.live_len(), 4);
+        // Links to and from the dead node stay in place.
+        assert!(dense.d_links(n(1)).contains(&n(2)));
+        assert_eq!(dense.d_links(n(2)).len(), 2);
     }
 
     #[test]

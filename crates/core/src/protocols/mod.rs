@@ -24,12 +24,11 @@ pub use flooding::{DeterministicFlooding, Flooding};
 pub use randcast::RandCast;
 pub use ringcast::RingCast;
 
-use rand::seq::SliceRandom;
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
 use hybridcast_graph::NodeId;
 
-use crate::overlay::Overlay;
+use crate::overlay::{DenseOverlay, Overlay, NO_NODE};
 
 /// A gossip-target selection policy: the pluggable heart of every push
 /// dissemination protocol.
@@ -56,6 +55,23 @@ pub trait GossipTargetSelector {
     ) -> Vec<NodeId>;
 }
 
+/// Retains a uniform random sample of `min(count, len)` elements at the
+/// front of `pool` and truncates the rest: a partial Fisher–Yates shuffle,
+/// O(count) swaps and RNG draws instead of shuffling the whole pool.
+///
+/// The sampled prefix has exactly the distribution of a full Fisher–Yates
+/// shuffle followed by truncation. Both the id-keyed and the dense (index)
+/// selection paths call this helper, so the two engines consume identical
+/// RNG draw sequences for identical candidate pools.
+pub(crate) fn partial_fisher_yates<T>(pool: &mut Vec<T>, count: usize, rng: &mut dyn RngCore) {
+    let take = count.min(pool.len());
+    for i in 0..take {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(take);
+}
+
 /// Draws up to `count` elements uniformly at random (without replacement)
 /// from `candidates`, excluding `node`, `from` and anything in `already`.
 pub(crate) fn pick_random_targets(
@@ -71,9 +87,178 @@ pub(crate) fn pick_random_targets(
         .copied()
         .filter(|&c| c != node && Some(c) != from && !already.contains(&c))
         .collect();
-    pool.shuffle(rng);
-    pool.truncate(count);
+    partial_fisher_yates(&mut pool, count, rng);
     pool
+}
+
+/// A gossip-target selection policy as plain data: one variant per built-in
+/// protocol.
+///
+/// `DenseSelector` plays two roles:
+///
+/// * it implements [`GossipTargetSelector`], so it is a drop-in replacement
+///   for the concrete protocol structs anywhere the generic (id-keyed)
+///   engine or the pull/async extensions are used, and
+/// * it drives the allocation-free dense hot path
+///   ([`crate::engine::disseminate_dense`]) via internal slice-based
+///   selection over a [`DenseOverlay`].
+///
+/// Both paths filter candidates in the same order and draw random targets
+/// through the same partial Fisher–Yates helper, so for the same overlay,
+/// origin and RNG seed the two engines produce **identical**
+/// [`crate::metrics::DisseminationReport`]s — the determinism contract the
+/// differential property tests pin down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenseSelector {
+    /// Flooding over all outgoing links ([`Flooding`]).
+    Flooding,
+    /// Flooding over d-links only ([`DeterministicFlooding`]).
+    DeterministicFlooding,
+    /// RandCast with the given fanout ([`RandCast`]).
+    RandCast(usize),
+    /// RingCast with the given fanout ([`RingCast`]).
+    RingCast(usize),
+}
+
+impl DenseSelector {
+    /// Creates a RandCast selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero, like [`RandCast::new`].
+    pub fn randcast(fanout: usize) -> Self {
+        assert!(fanout > 0, "RandCast fanout must be positive");
+        DenseSelector::RandCast(fanout)
+    }
+
+    /// Creates a RingCast selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero, like [`RingCast::new`].
+    pub fn ringcast(fanout: usize) -> Self {
+        assert!(fanout > 0, "RingCast fanout must be positive");
+        DenseSelector::RingCast(fanout)
+    }
+
+    /// Selects gossip targets over a dense overlay, writing them into
+    /// `targets` (`pool` is reusable draw scratch). `from` is the dense
+    /// index of the sender, or [`NO_NODE`] for the origin.
+    ///
+    /// This mirrors the [`GossipTargetSelector`] implementations of the
+    /// concrete protocol structs exactly — same candidate order, same
+    /// exclusions, same RNG draws — over borrowed index slices instead of
+    /// freshly allocated id vectors.
+    pub(crate) fn select_dense(
+        &self,
+        overlay: &DenseOverlay,
+        node: u32,
+        from: u32,
+        rng: &mut dyn RngCore,
+        targets: &mut Vec<u32>,
+        pool: &mut Vec<u32>,
+    ) {
+        targets.clear();
+        match *self {
+            DenseSelector::Flooding => {
+                for &link in overlay
+                    .d_links_of(node)
+                    .iter()
+                    .chain(overlay.r_links_of(node))
+                {
+                    if link != node && link != from && !targets.contains(&link) {
+                        targets.push(link);
+                    }
+                }
+            }
+            DenseSelector::DeterministicFlooding => {
+                targets.extend(
+                    overlay
+                        .d_links_of(node)
+                        .iter()
+                        .copied()
+                        .filter(|&link| link != node && link != from),
+                );
+            }
+            DenseSelector::RandCast(fanout) => {
+                // Same validation (and panic) as the generic path, which
+                // constructs `RandCast::new(fanout)` at selection time — the
+                // public tuple variant must not bypass the invariant.
+                assert!(fanout > 0, "RandCast fanout must be positive");
+                pool.clear();
+                pool.extend(
+                    overlay
+                        .r_links_of(node)
+                        .iter()
+                        .copied()
+                        .filter(|&c| c != node && c != from),
+                );
+                partial_fisher_yates(pool, fanout, rng);
+                targets.extend_from_slice(pool);
+            }
+            DenseSelector::RingCast(fanout) => {
+                assert!(fanout > 0, "RingCast fanout must be positive");
+                for &link in overlay.d_links_of(node) {
+                    if link != node && link != from && !targets.contains(&link) {
+                        targets.push(link);
+                    }
+                }
+                let remaining = fanout.saturating_sub(targets.len());
+                if remaining > 0 {
+                    pool.clear();
+                    pool.extend(
+                        overlay
+                            .r_links_of(node)
+                            .iter()
+                            .copied()
+                            .filter(|&c| c != node && c != from && !targets.contains(&c)),
+                    );
+                    partial_fisher_yates(pool, remaining, rng);
+                    targets.extend_from_slice(pool);
+                }
+            }
+        }
+        debug_assert!(from == NO_NODE || !targets.contains(&from));
+    }
+}
+
+impl GossipTargetSelector for DenseSelector {
+    fn name(&self) -> &str {
+        match self {
+            DenseSelector::Flooding => "Flooding",
+            DenseSelector::DeterministicFlooding => "DeterministicFlooding",
+            DenseSelector::RandCast(_) => "RandCast",
+            DenseSelector::RingCast(_) => "RingCast",
+        }
+    }
+
+    fn fanout(&self) -> usize {
+        match *self {
+            DenseSelector::Flooding | DenseSelector::DeterministicFlooding => 0,
+            DenseSelector::RandCast(fanout) | DenseSelector::RingCast(fanout) => fanout,
+        }
+    }
+
+    fn select_targets(
+        &self,
+        overlay: &dyn Overlay,
+        node: NodeId,
+        from: Option<NodeId>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<NodeId> {
+        match *self {
+            DenseSelector::Flooding => Flooding::new().select_targets(overlay, node, from, rng),
+            DenseSelector::DeterministicFlooding => {
+                DeterministicFlooding::new().select_targets(overlay, node, from, rng)
+            }
+            DenseSelector::RandCast(fanout) => {
+                RandCast::new(fanout).select_targets(overlay, node, from, rng)
+            }
+            DenseSelector::RingCast(fanout) => {
+                RingCast::new(fanout).select_targets(overlay, node, from, rng)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +285,26 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), 5, "no duplicates");
+    }
+
+    #[test]
+    #[should_panic(expected = "RandCast fanout must be positive")]
+    fn dense_selector_zero_fanout_panics_at_selection_time() {
+        // The public tuple variant can be built with fanout 0; both engines
+        // must reject it identically when it is actually used.
+        let mut overlay = crate::overlay::StaticOverlay::new();
+        overlay.add_r_link(NodeId::new(0), NodeId::new(1));
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (mut targets, mut pool) = (Vec::new(), Vec::new());
+        DenseSelector::RandCast(0).select_dense(
+            &dense,
+            0,
+            NO_NODE,
+            &mut rng,
+            &mut targets,
+            &mut pool,
+        );
     }
 
     #[test]

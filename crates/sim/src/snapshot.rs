@@ -72,6 +72,14 @@ impl OverlaySnapshot {
         self.nodes.get(&id)
     }
 
+    /// Iterates over all live nodes and their records, in ascending id
+    /// order. This is the allocation-free export used to build dense
+    /// index-based overlays: unlike [`OverlaySnapshot::r_links`] /
+    /// [`OverlaySnapshot::d_links`], no link vector is cloned.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &NodeSnapshot)> {
+        self.nodes.iter().map(|(&id, node)| (id, node))
+    }
+
     /// The node's outgoing r-links (empty for dead/unknown nodes).
     pub fn r_links(&self, id: NodeId) -> Vec<NodeId> {
         self.nodes
