@@ -20,8 +20,8 @@ use hybridcast_graph::{builders, harary, NodeId};
 use hybridcast_sim::{Network, SimConfig};
 
 use crate::scenario::{
-    catastrophic_overlay, churn_overlay_with_cycles, dense_overlay, static_overlay, EngineKind,
-    ExperimentParams,
+    catastrophic_overlay, churn_overlay_with_cycles, churn_scenario, dense_overlay, static_overlay,
+    EngineKind, ExperimentParams,
 };
 
 /// The two protocols every figure compares side by side.
@@ -123,12 +123,23 @@ pub fn effectiveness_over(
     params: &ExperimentParams,
 ) -> EffectivenessTable {
     let dense = dense_overlay(overlay);
+    effectiveness_with_dense(&dense, overlay, scenario, params)
+}
+
+/// Like [`effectiveness_over`], but reuses an already converted dense
+/// overlay (e.g. the zero-round-trip export of the arena runtime).
+fn effectiveness_with_dense(
+    dense: &DenseOverlay,
+    overlay: &SnapshotOverlay,
+    scenario: &str,
+    params: &ExperimentParams,
+) -> EffectivenessTable {
     let mut rng = params.dissemination_rng();
     let mut rows = Vec::new();
     let mut tag = 0u64;
     for &fanout in &params.fanouts {
         for protocol in protocols(fanout) {
-            let reports = run_reports(&dense, overlay, &protocol, params, tag, &mut rng);
+            let reports = run_reports(dense, overlay, &protocol, params, tag, &mut rng);
             tag += 1;
             rows.push(AggregateStats::from_reports(
                 protocol.name(),
@@ -241,10 +252,12 @@ pub fn catastrophic_progress(
 
 /// **Figure 11**: dissemination effectiveness in churn steady state.
 /// Returns the table plus the number of churn cycles it took to reach
-/// steady state.
+/// steady state. On the dense engine both the churn warm-up (the dominant
+/// cost) and the dissemination sweep run on the arena/CSR hot paths.
 pub fn churn_effectiveness(params: &ExperimentParams) -> (EffectivenessTable, usize) {
-    let (overlay, cycles) = churn_overlay_with_cycles(params);
-    let table = effectiveness_over(
+    let (dense, overlay, cycles) = churn_scenario(params);
+    let table = effectiveness_with_dense(
+        &dense,
         &overlay,
         &format!(
             "churn steady state ({}% per cycle, {} cycles)",
@@ -257,18 +270,37 @@ pub fn churn_effectiveness(params: &ExperimentParams) -> (EffectivenessTable, us
 }
 
 /// **Figure 12**: the distribution of node lifetimes in churn steady state,
-/// aggregated over `repeats` independently seeded experiments.
+/// aggregated over `repeats` independently seeded experiments. On the dense
+/// engine the repeats fan out across `params.thread_count()` workers; the
+/// histogram is identical for every thread count (repeat `r` is a pure
+/// function of `seed + r`).
 pub fn lifetime_distribution(params: &ExperimentParams, repeats: usize) -> LifetimeHistogram {
-    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
-    for repeat in 0..repeats.max(1) {
-        let mut seeded = params.clone();
-        seeded.seed = params.seed.wrapping_add(repeat as u64);
+    let seeds: Vec<u64> = (0..repeats.max(1) as u64)
+        .map(|repeat| params.seed.wrapping_add(repeat))
+        .collect();
+    let threads = match params.engine {
+        EngineKind::Dense => params.thread_count(),
+        EngineKind::Btree => 1,
+    };
+    let per_repeat = hybridcast_sim::dense::par_map_seeds(&seeds, threads, |seed| {
+        let seeded = ExperimentParams {
+            seed,
+            ..params.clone()
+        };
         let (overlay, _) = churn_overlay_with_cycles(&seeded);
         let snapshot = overlay.snapshot();
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
         for id in snapshot.live_nodes() {
             if let Some(lifetime) = snapshot.lifetime(id) {
                 *counts.entry(lifetime).or_insert(0) += 1;
             }
+        }
+        counts
+    });
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for repeat_counts in per_repeat {
+        for (lifetime, count) in repeat_counts {
+            *counts.entry(lifetime).or_insert(0) += count;
         }
     }
     LifetimeHistogram {
@@ -283,8 +315,7 @@ pub fn miss_lifetimes(
     params: &ExperimentParams,
     fanouts: &[usize],
 ) -> Vec<(String, usize, LifetimeHistogram)> {
-    let (overlay, _) = churn_overlay_with_cycles(params);
-    let dense = dense_overlay(&overlay);
+    let (dense, overlay, _) = churn_scenario(params);
     let mut rng = params.dissemination_rng();
     let mut out = Vec::new();
     let mut tag = 0u64;

@@ -10,16 +10,21 @@ use serde::{Deserialize, Serialize};
 use hybridcast_core::overlay::{DenseOverlay, SnapshotOverlay};
 use hybridcast_sim::churn::{ChurnConfig, ChurnDriver};
 use hybridcast_sim::failure::kill_fraction_in_snapshot;
-use hybridcast_sim::{Network, SimConfig};
+use hybridcast_sim::{DenseSimNetwork, GossipRuntime, Network, OverlaySnapshot, SimConfig};
 
 use crate::cli::Args;
 
-/// Which dissemination engine an experiment runs on.
+/// Which engine an experiment runs on — covering **both phases** of every
+/// figure: the membership simulation that grows (and churns) the overlay,
+/// and the dissemination sweep over the frozen result.
 ///
-/// The dense engine is the default: it converts the frozen overlay to a
-/// [`DenseOverlay`] once and fans seeded runs across threads. The BTree
-/// engine is the original id-keyed sequential path, kept selectable
-/// (`--engine btree`) so the speedup can be measured on any machine.
+/// The dense engine is the default: the overlay is grown by the arena-based
+/// [`DenseSimNetwork`] epoch runtime, frozen, converted to a
+/// [`DenseOverlay`] once, and seeded dissemination runs are fanned across
+/// threads. The BTree engine is the original id-keyed sequential path, kept
+/// selectable (`--engine btree`) so the speedup can be measured on any
+/// machine. The two engines are bit-identical per seed in both phases, so
+/// the flag changes wall-clock time, never data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EngineKind {
     /// Allocation-free CSR engine, parallel seeded runs (the default).
@@ -162,12 +167,40 @@ impl ExperimentParams {
     }
 }
 
+/// Runs the membership phase on the engine selected by `params.engine` and
+/// returns `f` applied to the warmed runtime. Both runtimes are
+/// bit-identical per seed, so the engine choice never changes the result.
+fn with_warmed_runtime<T>(
+    params: &ExperimentParams,
+    warm: impl Fn(&mut dyn GossipRuntime) -> usize,
+    f: impl Fn(&dyn GossipRuntime, usize) -> T,
+) -> T {
+    match params.engine {
+        EngineKind::Dense => {
+            let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+            let cycles = warm(&mut network);
+            f(&network, cycles)
+        }
+        EngineKind::Btree => {
+            let mut network = Network::new(params.sim_config(), params.seed);
+            let cycles = warm(&mut network);
+            f(&network, cycles)
+        }
+    }
+}
+
 /// Scenario 1 (Section 7.1): a static failure-free overlay, warmed up for
-/// `warmup_cycles` and frozen.
+/// `warmup_cycles` and frozen. The membership phase runs on the engine
+/// selected by `params.engine` (identical overlays either way).
 pub fn static_overlay(params: &ExperimentParams) -> SnapshotOverlay {
-    let mut network = Network::new(params.sim_config(), params.seed);
-    network.run_cycles(params.warmup_cycles);
-    SnapshotOverlay::new(network.overlay_snapshot())
+    with_warmed_runtime(
+        params,
+        |network| {
+            network.run_cycles(params.warmup_cycles);
+            params.warmup_cycles
+        },
+        |network, _| SnapshotOverlay::new(network.overlay_snapshot()),
+    )
 }
 
 /// Scenario 2 (Section 7.2): the static overlay of scenario 1 in which a
@@ -196,14 +229,50 @@ pub fn dense_overlay(overlay: &SnapshotOverlay) -> DenseOverlay {
     DenseOverlay::from(overlay)
 }
 
-/// Like [`churn_overlay`] but also reports how many churn cycles were run.
-pub fn churn_overlay_with_cycles(params: &ExperimentParams) -> (SnapshotOverlay, usize) {
-    let mut network = Network::new(params.sim_config(), params.seed);
+/// The paper's churn warm-up on either runtime: gossip under churn until
+/// every bootstrap node has been replaced (capped at
+/// `params.churn_max_cycles`). The single definition keeps the dense and
+/// BTree paths running the identical protocol.
+fn run_churn_warmup<N: GossipRuntime + ?Sized>(
+    params: &ExperimentParams,
+    network: &mut N,
+) -> usize {
     let mut driver = ChurnDriver::new(ChurnConfig {
         rate: params.churn_rate,
     });
-    let cycles = driver.run_until_all_replaced(&mut network, params.churn_max_cycles);
-    (SnapshotOverlay::new(network.overlay_snapshot()), cycles)
+    driver.run_until_all_replaced(network, params.churn_max_cycles)
+}
+
+/// Like [`churn_overlay`] but also reports how many churn cycles were run.
+/// The churn warm-up — by far the dominant cost of the churn figures —
+/// runs on the engine selected by `params.engine`.
+pub fn churn_overlay_with_cycles(params: &ExperimentParams) -> (SnapshotOverlay, usize) {
+    with_warmed_runtime(
+        params,
+        |network| run_churn_warmup(params, network),
+        |network, cycles| (SnapshotOverlay::new(network.overlay_snapshot()), cycles),
+    )
+}
+
+/// The churn scenario frozen straight into the dense engine input: the
+/// overlay is grown by the selected runtime and — on the dense engine —
+/// exported to a [`DenseOverlay`] without the id-keyed snapshot round-trip.
+/// Returns the dense overlay, the id-keyed snapshot (figures 12/13 need its
+/// lifetimes) and the churn cycle count.
+pub fn churn_scenario(params: &ExperimentParams) -> (DenseOverlay, SnapshotOverlay, usize) {
+    match params.engine {
+        EngineKind::Dense => {
+            let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+            let cycles = run_churn_warmup(params, &mut network);
+            let dense = DenseOverlay::from_dense_sim(&network);
+            let snapshot: OverlaySnapshot = network.overlay_snapshot();
+            (dense, SnapshotOverlay::new(snapshot), cycles)
+        }
+        EngineKind::Btree => {
+            let (overlay, cycles) = churn_overlay_with_cycles(params);
+            (dense_overlay(&overlay), overlay, cycles)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +352,29 @@ mod tests {
         // All bootstrap ids (0..150) have been replaced by later joiners.
         let min_id = overlay.snapshot().live_nodes().next().unwrap();
         assert!(min_id.as_u64() >= 150, "bootstrap nodes should be gone");
+    }
+
+    #[test]
+    fn membership_phase_is_engine_invariant() {
+        let dense_params = tiny();
+        let btree_params = ExperimentParams {
+            engine: EngineKind::Btree,
+            ..tiny()
+        };
+
+        let static_dense = static_overlay(&dense_params);
+        let static_btree = static_overlay(&btree_params);
+        assert_eq!(static_dense.snapshot(), static_btree.snapshot());
+
+        let (overlay_dense, overlay_snap, cycles_dense) = churn_scenario(&dense_params);
+        let (overlay_btree, btree_snap, cycles_btree) = churn_scenario(&btree_params);
+        assert_eq!(cycles_dense, cycles_btree);
+        assert_eq!(overlay_snap.snapshot(), btree_snap.snapshot());
+        assert_eq!(overlay_dense.live_node_ids(), overlay_btree.live_node_ids());
+        for id in overlay_dense.live_node_ids() {
+            assert_eq!(overlay_dense.r_links(id), overlay_btree.r_links(id));
+            assert_eq!(overlay_dense.d_links(id), overlay_btree.d_links(id));
+        }
     }
 
     #[test]

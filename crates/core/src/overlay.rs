@@ -20,7 +20,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use hybridcast_graph::{DiGraph, NodeId};
-use hybridcast_sim::OverlaySnapshot;
+use hybridcast_sim::{DenseSimNetwork, FlatLinks, OverlaySnapshot};
 
 /// Read-only access to the overlay a dissemination runs over.
 ///
@@ -352,6 +352,35 @@ impl DenseOverlay {
         Self::build(&entries)
     }
 
+    /// Builds a dense copy straight from the flat CSR link export of the
+    /// arena-based simulation runtime
+    /// ([`hybridcast_sim::DenseSimNetwork::flat_links`]), without any
+    /// round-trip through an id-keyed [`OverlaySnapshot`]. Link order is
+    /// preserved, so disseminations over the result are bit-identical to
+    /// ones over `from_snapshot(&net.overlay_snapshot())`.
+    pub fn from_flat_links(links: &FlatLinks) -> Self {
+        let entries: Vec<(NodeId, bool, &[NodeId], &[NodeId])> = links
+            .ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| {
+                let r =
+                    &links.r_targets[links.r_offsets[i] as usize..links.r_offsets[i + 1] as usize];
+                let d =
+                    &links.d_targets[links.d_offsets[i] as usize..links.d_offsets[i + 1] as usize];
+                (id, true, r, d)
+            })
+            .collect();
+        Self::build(&entries)
+    }
+
+    /// Convenience: the dense overlay of an arena-based simulation's current
+    /// state ([`DenseOverlay::from_flat_links`] over
+    /// [`hybridcast_sim::DenseSimNetwork::flat_links`]).
+    pub fn from_dense_sim(net: &DenseSimNetwork) -> Self {
+        Self::from_flat_links(&net.flat_links())
+    }
+
     /// Builds a dense overlay whose d-links come from `d_graph` and r-links
     /// from `r_graph`; the node set is the union of both graphs, all alive
     /// (the dense analogue of [`StaticOverlay::from_graphs`]).
@@ -624,6 +653,26 @@ mod tests {
             assert_eq!(dense.d_links(id), snapshot.d_links(id), "{id} order");
         }
         assert_eq!(dense.live_indices().len(), 60);
+    }
+
+    #[test]
+    fn dense_overlay_from_flat_links_equals_snapshot_route() {
+        use hybridcast_sim::DenseSimNetwork;
+        let config = SimConfig {
+            nodes: 70,
+            ..SimConfig::default()
+        };
+        let mut net = DenseSimNetwork::new(config, 13);
+        net.run_cycles(40);
+        let via_snapshot = DenseOverlay::from_snapshot(&net.overlay_snapshot());
+        let direct = DenseOverlay::from_dense_sim(&net);
+        assert_eq!(direct.len(), via_snapshot.len());
+        assert_eq!(direct.live_len(), via_snapshot.live_len());
+        for id in via_snapshot.live_node_ids() {
+            assert_eq!(direct.r_links(id), via_snapshot.r_links(id), "{id} r");
+            assert_eq!(direct.d_links(id), via_snapshot.d_links(id), "{id} d");
+            assert_eq!(direct.index_of(id), via_snapshot.index_of(id), "{id} index");
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub use flooding::{DeterministicFlooding, Flooding};
 pub use randcast::RandCast;
 pub use ringcast::RingCast;
 
-use rand::{Rng, RngCore};
+use rand::RngCore;
 
 use hybridcast_graph::NodeId;
 
@@ -59,17 +59,12 @@ pub trait GossipTargetSelector {
 /// front of `pool` and truncates the rest: a partial Fisher–Yates shuffle,
 /// O(count) swaps and RNG draws instead of shuffling the whole pool.
 ///
-/// The sampled prefix has exactly the distribution of a full Fisher–Yates
-/// shuffle followed by truncation. Both the id-keyed and the dense (index)
-/// selection paths call this helper, so the two engines consume identical
-/// RNG draw sequences for identical candidate pools.
+/// Both the id-keyed and the dense (index) selection paths call this helper,
+/// so the two engines consume identical RNG draw sequences for identical
+/// candidate pools. The implementation is the workspace-wide draw in
+/// [`hybridcast_graph::sample::partial_fisher_yates`].
 pub(crate) fn partial_fisher_yates<T>(pool: &mut Vec<T>, count: usize, rng: &mut dyn RngCore) {
-    let take = count.min(pool.len());
-    for i in 0..take {
-        let j = rng.gen_range(i..pool.len());
-        pool.swap(i, j);
-    }
-    pool.truncate(take);
+    hybridcast_graph::sample::partial_fisher_yates(pool, count, rng);
 }
 
 /// Draws up to `count` elements uniformly at random (without replacement)

@@ -19,10 +19,10 @@ use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::{builders, NodeId};
 
-use crate::engine::disseminate;
+use crate::engine::{disseminate, disseminate_dense, DenseScratch};
 use crate::metrics::DisseminationReport;
-use crate::overlay::StaticOverlay;
-use crate::protocols::GossipTargetSelector;
+use crate::overlay::{DenseOverlay, StaticOverlay};
+use crate::protocols::{DenseSelector, GossipTargetSelector};
 
 /// Identifier of a pub/sub topic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -62,12 +62,42 @@ impl Default for PubSubConfig {
     }
 }
 
+/// Returns a process-unique identity for one `PubSub` value, so cached
+/// per-topic overlays can never be served across instances.
+fn next_pubsub_instance() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A topic-based publish/subscribe system: per-topic subscriber sets and
 /// per-topic dissemination overlays.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PubSub {
     config: PubSubConfig,
     subscriptions: BTreeMap<Topic, BTreeSet<NodeId>>,
+    /// Per-topic subscription generation: the value of `generation` at the
+    /// topic's last membership change. Lets [`DensePublisher`] caches
+    /// invalidate exactly the topics that changed.
+    topic_generations: BTreeMap<Topic, u64>,
+    /// Bumped on every subscription change (any topic).
+    generation: u64,
+    /// Process-unique instance token; clones get a fresh one, so a
+    /// [`DensePublisher`] warmed on one `PubSub` never serves its frozen
+    /// overlays for a different (or cloned-and-diverged) instance.
+    instance: u64,
+}
+
+impl Clone for PubSub {
+    fn clone(&self) -> Self {
+        PubSub {
+            config: self.config,
+            subscriptions: self.subscriptions.clone(),
+            topic_generations: self.topic_generations.clone(),
+            generation: self.generation,
+            instance: next_pubsub_instance(),
+        }
+    }
 }
 
 impl PubSub {
@@ -76,13 +106,32 @@ impl PubSub {
         PubSub {
             config,
             subscriptions: BTreeMap::new(),
+            topic_generations: BTreeMap::new(),
+            generation: 0,
+            instance: next_pubsub_instance(),
         }
+    }
+
+    /// The current subscription generation: incremented whenever any
+    /// subscriber set changes, so cached per-topic overlays can be
+    /// invalidated.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Subscribes `node` to `topic`. Returns `true` if it was not already
     /// subscribed.
     pub fn subscribe(&mut self, topic: Topic, node: NodeId) -> bool {
-        self.subscriptions.entry(topic).or_default().insert(node)
+        let added = self
+            .subscriptions
+            .entry(topic.clone())
+            .or_default()
+            .insert(node);
+        if added {
+            self.generation += 1;
+            self.topic_generations.insert(topic, self.generation);
+        }
+        added
     }
 
     /// Unsubscribes `node` from `topic`. Returns `true` if it was
@@ -92,8 +141,18 @@ impl PubSub {
             return false;
         };
         let removed = subscribers.remove(&node);
-        if subscribers.is_empty() {
+        let dropped = subscribers.is_empty();
+        if dropped {
             self.subscriptions.remove(topic);
+        }
+        if removed {
+            self.generation += 1;
+            if dropped {
+                self.topic_generations.remove(topic);
+            } else {
+                self.topic_generations
+                    .insert(topic.clone(), self.generation);
+            }
         }
         removed
     }
@@ -170,6 +229,112 @@ impl PubSub {
             .topic_overlay(topic, rng)
             .ok_or_else(|| PublishError::UnknownTopic(topic.clone()))?;
         Ok(disseminate(&overlay, selector, publisher, rng))
+    }
+
+    /// Publishes an event on `topic` over the dense (allocation-free)
+    /// dissemination path.
+    ///
+    /// On the first publish per topic (or after any subscription change)
+    /// the topic's [`StaticOverlay`] is built with the same RNG draws as
+    /// [`PubSub::publish`] and frozen into a cached [`DenseOverlay`] inside
+    /// `state`; the dissemination itself runs through
+    /// [`disseminate_dense`] over `state`'s reusable scratch. With a cold
+    /// cache the returned report is **bit-identical** to [`PubSub::publish`]
+    /// for the same RNG seed; warm publishes reuse the frozen overlay (the
+    /// paper's frozen-overlay evaluation model) and skip the build draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`PubSub::publish`].
+    pub fn publish_dense<R: Rng>(
+        &self,
+        topic: &Topic,
+        publisher: NodeId,
+        selector: &DenseSelector,
+        rng: &mut R,
+        state: &mut DensePublisher,
+    ) -> Result<DisseminationReport, PublishError> {
+        let subscribers = self
+            .subscriptions
+            .get(topic)
+            .ok_or_else(|| PublishError::UnknownTopic(topic.clone()))?;
+        if !subscribers.contains(&publisher) {
+            return Err(PublishError::NotSubscribed {
+                topic: topic.clone(),
+                node: publisher,
+            });
+        }
+        let topic_generation = self.topic_generations.get(topic).copied().unwrap_or(0);
+        let stale = state
+            .cache
+            .get(topic)
+            .map(|cached| (cached.instance, cached.generation))
+            != Some((self.instance, topic_generation));
+        if stale {
+            let overlay = self
+                .topic_overlay(topic, rng)
+                .ok_or_else(|| PublishError::UnknownTopic(topic.clone()))?;
+            state.cache.insert(
+                topic.clone(),
+                CachedTopic {
+                    instance: self.instance,
+                    generation: topic_generation,
+                    overlay: DenseOverlay::from(&overlay),
+                },
+            );
+        }
+        Ok(disseminate_dense(
+            &state.cache[topic].overlay,
+            selector,
+            publisher,
+            rng,
+            &mut state.scratch,
+        ))
+    }
+}
+
+/// One frozen topic overlay in a [`DensePublisher`] cache, tagged with the
+/// owning [`PubSub`]'s instance token and the topic's subscription
+/// generation at build time.
+#[derive(Debug, Clone)]
+struct CachedTopic {
+    instance: u64,
+    generation: u64,
+    overlay: DenseOverlay,
+}
+
+/// Reusable state for [`PubSub::publish_dense`]: per-topic frozen
+/// [`DenseOverlay`]s, each tagged with the owning [`PubSub`]'s instance
+/// token and the topic's subscription generation at build time — so a
+/// subscription change invalidates exactly the changed topic, and a cache
+/// warmed on one `PubSub` (or a clone that has since diverged) is never
+/// served for another. Also holds the [`DenseScratch`] shared by every
+/// publish. Create one per publishing worker and keep it across publishes.
+#[derive(Debug, Clone, Default)]
+pub struct DensePublisher {
+    cache: BTreeMap<Topic, CachedTopic>,
+    scratch: DenseScratch,
+}
+
+impl DensePublisher {
+    /// Creates an empty publisher state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of topics with a cached overlay.
+    pub fn cached_topics(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops the cached overlay of one topic (the next publish rebuilds it).
+    pub fn invalidate(&mut self, topic: &Topic) {
+        self.cache.remove(topic);
+    }
+
+    /// Drops every cached overlay.
+    pub fn clear(&mut self) {
+        self.cache.clear();
     }
 }
 
@@ -287,6 +452,167 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PublishError::NotSubscribed { .. }));
         assert!(err.to_string().contains("n99"));
+    }
+
+    #[test]
+    fn dense_publish_is_bit_identical_to_id_keyed_publish_on_cold_cache() {
+        let ps = pubsub_with_topic("alerts", 0..60);
+        let topic = Topic::new("alerts");
+        for (selector, dense_selector) in [
+            (
+                Box::new(RingCast::new(3)) as Box<dyn GossipTargetSelector>,
+                DenseSelector::ringcast(3),
+            ),
+            (Box::new(RandCast::new(4)), DenseSelector::randcast(4)),
+        ] {
+            let mut rng_a = ChaCha8Rng::seed_from_u64(77);
+            let generic = ps
+                .publish(&topic, n(5), selector.as_ref(), &mut rng_a)
+                .unwrap();
+            let mut rng_b = ChaCha8Rng::seed_from_u64(77);
+            let mut state = DensePublisher::new();
+            let dense = ps
+                .publish_dense(&topic, n(5), &dense_selector, &mut rng_b, &mut state)
+                .unwrap();
+            assert_eq!(generic, dense, "{} reports diverge", selector.name());
+            assert_eq!(state.cached_topics(), 1);
+        }
+    }
+
+    #[test]
+    fn dense_publish_reuses_the_frozen_overlay_until_subscriptions_change() {
+        let mut ps = pubsub_with_topic("news", 0..40);
+        let topic = Topic::new("news");
+        let mut state = DensePublisher::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let first = ps
+            .publish_dense(
+                &topic,
+                n(1),
+                &DenseSelector::ringcast(2),
+                &mut rng,
+                &mut state,
+            )
+            .unwrap();
+        assert!(first.is_complete());
+        // A warm publish over the same frozen overlay with a replayed RNG
+        // is deterministic (no rebuild draws are consumed).
+        let state_rng = rng.clone();
+        let second = ps
+            .publish_dense(
+                &topic,
+                n(1),
+                &DenseSelector::ringcast(2),
+                &mut rng,
+                &mut state,
+            )
+            .unwrap();
+        let mut replay = state_rng;
+        let replayed = ps
+            .publish_dense(
+                &topic,
+                n(1),
+                &DenseSelector::ringcast(2),
+                &mut replay,
+                &mut state,
+            )
+            .unwrap();
+        assert_eq!(second, replayed);
+
+        // Subscription changes invalidate the cache automatically.
+        let generation = ps.generation();
+        assert!(ps.subscribe(topic.clone(), n(99)));
+        assert_eq!(ps.generation(), generation + 1);
+        let report = ps
+            .publish_dense(
+                &topic,
+                n(99),
+                &DenseSelector::ringcast(2),
+                &mut rng,
+                &mut state,
+            )
+            .unwrap();
+        assert_eq!(report.population, 41, "rebuilt overlay sees the newcomer");
+
+        // Manual invalidation also works.
+        state.invalidate(&topic);
+        assert_eq!(state.cached_topics(), 0);
+        state.clear();
+    }
+
+    #[test]
+    fn dense_cache_is_per_topic_and_per_instance() {
+        let mut ps = pubsub_with_topic("a", 0..30);
+        for i in 0..25 {
+            ps.subscribe(Topic::new("b"), n(i));
+        }
+        let ta = Topic::new("a");
+        let tb = Topic::new("b");
+        let sel = DenseSelector::ringcast(2);
+        let mut state = DensePublisher::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        ps.publish_dense(&ta, n(1), &sel, &mut rng, &mut state)
+            .unwrap();
+
+        // A change on topic b must not invalidate a's frozen overlay: a warm
+        // publish on a consumes no rebuild draws, so replaying the RNG gives
+        // the same report before and after the b change.
+        let rng_snapshot = rng.clone();
+        let warm = ps
+            .publish_dense(&ta, n(1), &sel, &mut rng, &mut state)
+            .unwrap();
+        assert!(ps.subscribe(tb, n(99)));
+        let mut replay = rng_snapshot;
+        let after = ps
+            .publish_dense(&ta, n(1), &sel, &mut replay, &mut state)
+            .unwrap();
+        assert_eq!(warm, after, "a change on topic b rebuilt topic a");
+
+        // A clone is a different instance: publishing on it through the same
+        // DensePublisher must rebuild (cold), never serve the original's
+        // frozen overlay.
+        let clone = ps.clone();
+        let mut rng_a = ChaCha8Rng::seed_from_u64(12);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(12);
+        let mut fresh = DensePublisher::new();
+        let from_clone = clone
+            .publish_dense(&ta, n(1), &sel, &mut rng_a, &mut state)
+            .unwrap();
+        let from_fresh = clone
+            .publish_dense(&ta, n(1), &sel, &mut rng_b, &mut fresh)
+            .unwrap();
+        assert_eq!(
+            from_clone, from_fresh,
+            "clone must rebuild instead of reusing the original's cache"
+        );
+    }
+
+    #[test]
+    fn dense_publish_errors_match_id_keyed_errors() {
+        let ps = pubsub_with_topic("a", 0..5);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut state = DensePublisher::new();
+        let err = ps
+            .publish_dense(
+                &Topic::new("missing"),
+                n(0),
+                &DenseSelector::ringcast(2),
+                &mut rng,
+                &mut state,
+            )
+            .unwrap_err();
+        assert!(matches!(err, PublishError::UnknownTopic(_)));
+        let err = ps
+            .publish_dense(
+                &Topic::new("a"),
+                n(99),
+                &DenseSelector::ringcast(2),
+                &mut rng,
+                &mut state,
+            )
+            .unwrap_err();
+        assert!(matches!(err, PublishError::NotSubscribed { .. }));
+        assert_eq!(state.cached_topics(), 0, "errors never populate the cache");
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! `F`-out graphs as the model of the overlays produced by a peer sampling
 //! service. This module builds all of them.
 
-use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::digraph::DiGraph;
 use crate::node::NodeId;
+use crate::sample::partial_fisher_yates;
 
 /// Builds a bidirectional ring over `nodes` in the order given.
 ///
@@ -128,8 +128,8 @@ pub fn random_out_degree<R: Rng + ?Sized>(
     let k = out_degree.min(n - 1);
     for &node in nodes {
         let mut others: Vec<NodeId> = nodes.iter().copied().filter(|&m| m != node).collect();
-        others.shuffle(rng);
-        for &target in others.iter().take(k) {
+        partial_fisher_yates(&mut others, k, rng);
+        for &target in &others {
             g.add_edge(node, target);
         }
     }

@@ -12,7 +12,9 @@
 //! * [`harary`] — Harary graphs `H(n, t)`, the minimal graphs that stay
 //!   connected after `t - 1` node or link failures,
 //! * [`stats`] — degree distributions and other structural statistics used
-//!   by the evaluation harness.
+//!   by the evaluation harness,
+//! * [`sample`] — the shared partial Fisher–Yates draw every layer samples
+//!   through (gossip targets, failure victims, random overlays).
 //!
 //! The paper reproduced by this workspace ("Hybrid Dissemination", Middleware
 //! 2007) relies on the observation that a set of deterministic links forming
@@ -41,6 +43,7 @@ pub mod connectivity;
 pub mod digraph;
 pub mod harary;
 pub mod node;
+pub mod sample;
 pub mod stats;
 
 pub use digraph::DiGraph;

@@ -1,0 +1,87 @@
+//! Shared random-sampling primitives.
+//!
+//! Several layers of the workspace need "a uniform random sample of `k`
+//! elements out of `n` without replacement": gossip-target selection in the
+//! dissemination engines, victim selection in catastrophic-failure
+//! experiments, random-out-degree overlay construction. The naive
+//! implementation (`shuffle` the whole pool, then `truncate`) costs `O(n)`
+//! RNG draws and swaps; [`partial_fisher_yates`] produces a prefix with
+//! exactly the same distribution in `O(k)`.
+//!
+//! The helper lives in this bottom-of-the-stack crate so that every layer
+//! (membership, sim, core) draws through the *same* code path — which is
+//! what keeps the id-keyed and dense engines RNG-compatible.
+
+use rand::Rng;
+
+/// Retains a uniform random sample of `min(count, len)` elements at the
+/// front of `pool` and truncates the rest: a partial Fisher–Yates shuffle,
+/// `O(count)` swaps and RNG draws instead of shuffling the whole pool.
+///
+/// The sampled prefix has exactly the distribution of a full Fisher–Yates
+/// shuffle followed by truncation (each of the `n! / (n - k)!` ordered
+/// `k`-prefixes is equally likely).
+///
+/// # Example
+///
+/// ```
+/// use hybridcast_graph::sample::partial_fisher_yates;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let mut pool: Vec<u32> = (0..100).collect();
+/// partial_fisher_yates(&mut pool, 5, &mut rng);
+/// assert_eq!(pool.len(), 5);
+/// ```
+pub fn partial_fisher_yates<T, R: Rng + ?Sized>(pool: &mut Vec<T>, count: usize, rng: &mut R) {
+    let take = count.min(pool.len());
+    for i in 0..take {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(take);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn keeps_a_subset_without_duplicates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for count in [0usize, 1, 3, 9, 10, 50] {
+            let mut pool: Vec<u32> = (0..10).collect();
+            partial_fisher_yates(&mut pool, count, &mut rng);
+            assert_eq!(pool.len(), count.min(10));
+            let mut dedup = pool.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), pool.len(), "no duplicates");
+            assert!(pool.iter().all(|&x| x < 10), "only pool elements");
+        }
+    }
+
+    #[test]
+    fn covers_every_element_over_many_draws() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            let mut pool: Vec<usize> = (0..8).collect();
+            partial_fisher_yates(&mut pool, 2, &mut rng);
+            for &x in &pool {
+                seen[x] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every element can be drawn");
+    }
+
+    #[test]
+    fn empty_pool_is_a_no_op() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut pool: Vec<u8> = Vec::new();
+        partial_fisher_yates(&mut pool, 4, &mut rng);
+        assert!(pool.is_empty());
+    }
+}

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::NodeId;
 
-use crate::network::Network;
+use crate::runtime::GossipRuntime;
 
 /// The churn rate used in the paper's evaluation: 0.2 % of the nodes are
 /// replaced every cycle.
@@ -62,7 +62,9 @@ impl ChurnConfig {
     }
 }
 
-/// Drives a [`Network`] through gossip cycles with churn applied each cycle.
+/// Drives a [`GossipRuntime`] (the id-keyed [`crate::Network`] or the
+/// arena-based [`crate::DenseSimNetwork`]) through gossip cycles with churn
+/// applied each cycle.
 #[derive(Debug)]
 pub struct ChurnDriver {
     config: ChurnConfig,
@@ -105,7 +107,10 @@ impl ChurnDriver {
     /// bootstrapped with one random live introducer.
     ///
     /// Returns the ids of the removed and added nodes.
-    pub fn apply_churn_step(&mut self, network: &mut Network) -> (Vec<NodeId>, Vec<NodeId>) {
+    pub fn apply_churn_step<N: GossipRuntime + ?Sized>(
+        &mut self,
+        network: &mut N,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
         let count = self.config.nodes_per_cycle(network.len());
         let mut removed = Vec::with_capacity(count);
         for _ in 0..count {
@@ -128,7 +133,7 @@ impl ChurnDriver {
     /// Runs `cycles` gossip cycles, applying one churn step before each
     /// cycle (so freshly joined nodes gossip in the cycle they arrive, just
     /// like in the paper's PeerSim setup).
-    pub fn run_cycles(&mut self, network: &mut Network, cycles: usize) {
+    pub fn run_cycles<N: GossipRuntime + ?Sized>(&mut self, network: &mut N, cycles: usize) {
         for _ in 0..cycles {
             self.apply_churn_step(network);
             network.run_cycles(1);
@@ -141,7 +146,11 @@ impl ChurnDriver {
     ///
     /// The paper uses this criterion to reach churn steady state before
     /// measuring dissemination effectiveness.
-    pub fn run_until_all_replaced(&mut self, network: &mut Network, max_cycles: usize) -> usize {
+    pub fn run_until_all_replaced<N: GossipRuntime + ?Sized>(
+        &mut self,
+        network: &mut N,
+        max_cycles: usize,
+    ) -> usize {
         let initial: Vec<NodeId> = network.live_ids();
         let mut executed = 0usize;
         while executed < max_cycles {
@@ -158,11 +167,14 @@ impl ChurnDriver {
 
 /// Returns a histogram of node lifetimes (in cycles) for all live nodes:
 /// `lifetime -> number of nodes`, the quantity plotted in Figure 12.
-pub fn lifetime_histogram(network: &Network) -> std::collections::BTreeMap<u64, usize> {
+pub fn lifetime_histogram<N: GossipRuntime + ?Sized>(
+    network: &N,
+) -> std::collections::BTreeMap<u64, usize> {
     let mut histogram = std::collections::BTreeMap::new();
     let now = network.cycle();
-    for node in network.nodes() {
-        let lifetime = now.saturating_sub(node.joined_at_cycle());
+    for id in network.live_ids() {
+        let joined = network.joined_at(id).unwrap_or(0);
+        let lifetime = now.saturating_sub(joined);
         *histogram.entry(lifetime).or_insert(0) += 1;
     }
     histogram
@@ -172,6 +184,7 @@ pub fn lifetime_histogram(network: &Network) -> std::collections::BTreeMap<u64, 
 mod tests {
     use super::*;
     use crate::config::SimConfig;
+    use crate::network::Network;
 
     fn net(nodes: usize, seed: u64) -> Network {
         Network::new(

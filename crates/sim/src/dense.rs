@@ -1,0 +1,1202 @@
+//! The arena-based epoch gossip runtime.
+//!
+//! [`DenseSimNetwork`] is the million-node counterpart of the id-keyed
+//! [`crate::Network`]: the same cycle-driven Cyclon + Vicinity simulation,
+//! but with **all node state in flat arrays**:
+//!
+//! * nodes live in a slab of `u32` slots with a free-list, so churn reuses
+//!   storage instead of rebalancing a `BTreeMap`,
+//! * every node's Cyclon view is a fixed-stride slice of one descriptor
+//!   arena (parallel `id` / `age` / `profile` arrays), and likewise one
+//!   Vicinity view per ring,
+//! * liveness is a bitset, ring positions are a flat array, and the
+//!   id-sorted live-slot index (`by_id`) replaces `BTreeMap` iteration,
+//! * an epoch step ([`DenseSimNetwork::run_cycles`]) batches all Cyclon
+//!   shuffles and Vicinity exchanges of a cycle through one reusable
+//!   [`EpochScratch`], so a warm cycle performs no heap allocation.
+//!
+//! # Determinism contract
+//!
+//! For the same [`SimConfig`] and master seed, `DenseSimNetwork` is
+//! **bit-identical** to [`crate::Network`]: it consumes the exact same RNG
+//! draw sequence (same `shuffle`/`choose`/`gen_range` calls over
+//! identically-ordered candidate lists) and therefore produces equal
+//! [`OverlaySnapshot`]s at every cycle, including under churn and session
+//! drivers. The differential property tests in `tests/properties.rs` pin
+//! this contract; the id-keyed runtime stays around as the oracle.
+//!
+//! Because each network owns its RNG, independent runs are embarrassingly
+//! parallel: derive one seed per run (e.g. with the experiment layer's
+//! `run_seed(master, i)` convention) and fan the runs out with
+//! [`par_map_seeds`] — results are identical at any thread count.
+
+use std::collections::BTreeMap;
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use hybridcast_graph::NodeId;
+use hybridcast_membership::proximity::{rank_by_ring_distance_into, ring_neighbors};
+
+use crate::config::SimConfig;
+use crate::runtime::GossipRuntime;
+use crate::snapshot::{NodeSnapshot, OverlaySnapshot};
+
+/// A growable bitset over slot indices.
+#[derive(Debug, Clone, Default)]
+struct SlotBits {
+    words: Vec<u64>,
+}
+
+impl SlotBits {
+    fn grow_to(&mut self, len: usize) {
+        let words = len.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    fn get(&self, bit: u32) -> bool {
+        self.words[bit as usize / 64] & (1 << (bit as usize % 64)) != 0
+    }
+
+    fn set(&mut self, bit: u32) {
+        self.words[bit as usize / 64] |= 1 << (bit as usize % 64);
+    }
+
+    fn clear(&mut self, bit: u32) {
+        self.words[bit as usize / 64] &= !(1 << (bit as usize % 64));
+    }
+}
+
+/// A Cyclon payload descriptor in scratch space: `(node id, age, offset of
+/// the ring-position profile in the side pool)`.
+type CyDesc = (u64, u32, u32);
+
+/// A Vicinity payload descriptor / merge-pool entry: `(node id, age, ring key)`.
+type ViDesc = (u64, u32, u64);
+
+/// Reusable buffers for one epoch step. All per-exchange payloads, candidate
+/// lists and ranking buffers live here, so a warm gossip cycle allocates
+/// nothing regardless of population size.
+#[derive(Debug, Clone, Default)]
+struct EpochScratch {
+    /// Shuffled gossip order of one cycle (slots).
+    order: Vec<u32>,
+    /// Cyclon shuffle request payload (initiator -> target).
+    sent: Vec<CyDesc>,
+    sent_prof: Vec<u64>,
+    /// Cyclon shuffle reply payload (target -> initiator).
+    reply: Vec<CyDesc>,
+    reply_prof: Vec<u64>,
+    /// Ids the merging node may evict (descriptors it shipped out).
+    replaceable: Vec<u64>,
+    /// Initiator's Cyclon view projected onto the current ring.
+    cand: Vec<ViDesc>,
+    /// Responder's Cyclon view projected onto the current ring.
+    cand_peer: Vec<ViDesc>,
+    /// Vicinity exchange request payload.
+    pay: Vec<ViDesc>,
+    /// Vicinity exchange reply payload.
+    reply_v: Vec<ViDesc>,
+    /// Vicinity merge pool (own view + received + random-layer candidates).
+    pool: Vec<ViDesc>,
+    /// Ring-distance ranking buffers.
+    rank_in: Vec<(u64, NodeId, u32)>,
+    rank_taken: Vec<bool>,
+    rank_out: Vec<(u64, NodeId, u32)>,
+}
+
+/// Flat link arrays of a frozen overlay, the zero-copy export of
+/// [`DenseSimNetwork::flat_links`]: live node ids in ascending order plus
+/// the r-link and d-link lists in compressed-sparse-row layout
+/// (`targets[offsets[i]..offsets[i + 1]]` are node `i`'s links).
+///
+/// `hybridcast-core` builds its `DenseOverlay` directly from this, skipping
+/// the id-keyed [`OverlaySnapshot`] round-trip entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatLinks {
+    /// Live node ids, ascending.
+    pub ids: Vec<NodeId>,
+    /// CSR offsets into [`FlatLinks::r_targets`] (`ids.len() + 1` entries).
+    pub r_offsets: Vec<u32>,
+    /// Concatenated r-links (Cyclon views), in view order.
+    pub r_targets: Vec<NodeId>,
+    /// CSR offsets into [`FlatLinks::d_targets`] (`ids.len() + 1` entries).
+    pub d_offsets: Vec<u32>,
+    /// Concatenated d-links (ring neighbours on every ring, deduplicated).
+    pub d_targets: Vec<NodeId>,
+}
+
+/// The arena-based epoch gossip runtime. See the module documentation for
+/// the layout and the determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use hybridcast_sim::{DenseSimNetwork, Network, SimConfig};
+///
+/// let config = SimConfig { nodes: 40, ..SimConfig::default() };
+/// let mut dense = DenseSimNetwork::new(config.clone(), 7);
+/// let mut btree = Network::new(config, 7);
+/// dense.run_cycles(20);
+/// btree.run_cycles(20);
+/// assert_eq!(dense.overlay_snapshot(), btree.overlay_snapshot());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseSimNetwork {
+    config: SimConfig,
+    /// Ring positions per node (`config.rings.max(1)`).
+    rings: usize,
+    /// Vicinity instances per node (0 when Vicinity is disabled).
+    vic_rings: usize,
+    /// Cyclon view capacity / shuffle length (clamped like `CyclonNode`).
+    cyc: usize,
+    shuf: usize,
+    /// Vicinity view capacity / gossip length (clamped like `VicinityNode`).
+    vic: usize,
+    gos: usize,
+    cycle: u64,
+    next_id: u64,
+    rng: ChaCha8Rng,
+
+    // ---- slot arenas -----------------------------------------------------
+    /// Slot -> node id.
+    ids: Vec<u64>,
+    /// Slot -> join cycle.
+    joined: Vec<u64>,
+    /// Slot -> ring positions (stride `rings`).
+    positions: Vec<u64>,
+    /// Liveness bitset over slots.
+    live: SlotBits,
+    /// Reusable slots of departed nodes.
+    free: Vec<u32>,
+    /// Live slots in ascending id order (ids are assigned monotonically, so
+    /// spawns append and kills remove in place).
+    by_id: Vec<u32>,
+
+    // ---- Cyclon descriptor arena (stride `cyc` per slot) -----------------
+    cy_id: Vec<u64>,
+    cy_age: Vec<u32>,
+    /// Descriptor profiles: ring positions (stride `cyc * rings` per slot).
+    cy_pos: Vec<u64>,
+    cy_len: Vec<u32>,
+
+    // ---- Vicinity descriptor arena (stride `vic_rings * vic` per slot) ---
+    vi_id: Vec<u64>,
+    vi_age: Vec<u32>,
+    vi_key: Vec<u64>,
+    /// View lengths (stride `vic_rings` per slot).
+    vi_len: Vec<u32>,
+
+    scratch: EpochScratch,
+}
+
+impl DenseSimNetwork {
+    /// Boots a network of `config.nodes` nodes with the paper's star
+    /// bootstrap topology, exactly like [`crate::Network::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not validate.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        config.validate().expect("invalid simulation configuration");
+        let rings = config.rings.max(1);
+        let vic_rings = if config.run_vicinity { rings } else { 0 };
+        let cyc = config.cyclon_view;
+        let shuf = config.cyclon_shuffle.min(cyc);
+        let vic = config.vicinity_view;
+        let gos = config.vicinity_gossip.min(vic);
+        let nodes = config.nodes;
+        let mut net = DenseSimNetwork {
+            config,
+            rings,
+            vic_rings,
+            cyc,
+            shuf,
+            vic,
+            gos,
+            cycle: 0,
+            next_id: 0,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            ids: Vec::with_capacity(nodes),
+            joined: Vec::with_capacity(nodes),
+            positions: Vec::with_capacity(nodes * rings),
+            live: SlotBits::default(),
+            free: Vec::new(),
+            by_id: Vec::with_capacity(nodes),
+            cy_id: Vec::with_capacity(nodes * cyc),
+            cy_age: Vec::with_capacity(nodes * cyc),
+            cy_pos: Vec::with_capacity(nodes * cyc * rings),
+            cy_len: Vec::with_capacity(nodes),
+            vi_id: Vec::with_capacity(nodes * vic_rings * vic),
+            vi_age: Vec::with_capacity(nodes * vic_rings * vic),
+            vi_key: Vec::with_capacity(nodes * vic_rings * vic),
+            vi_len: Vec::with_capacity(nodes * vic_rings.max(1)),
+            scratch: EpochScratch::default(),
+        };
+        let introducer = net.spawn_node(None);
+        for _ in 1..net.config.nodes {
+            net.spawn_node(Some(introducer));
+        }
+        net
+    }
+
+    /// The simulation parameters.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns `true` if no node is alive.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Total number of slots ever allocated (live nodes plus free slots);
+    /// the arena's high-water mark under churn.
+    pub fn slot_capacity(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The ids of all live nodes, ascending.
+    pub fn live_ids(&self) -> Vec<NodeId> {
+        self.by_id
+            .iter()
+            .map(|&slot| NodeId::new(self.ids[slot as usize]))
+            .collect()
+    }
+
+    /// Returns `true` if the node with the given id is alive.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.lookup_live(id.as_u64()).is_some()
+    }
+
+    /// The node's position on the primary identifier ring, if it is alive.
+    pub fn ring_position(&self, id: NodeId) -> Option<u64> {
+        self.lookup_live(id.as_u64())
+            .map(|slot| self.positions[slot as usize * self.rings])
+    }
+
+    /// The cycle at which a live node joined the network.
+    pub fn joined_at_cycle(&self, id: NodeId) -> Option<u64> {
+        self.lookup_live(id.as_u64())
+            .map(|slot| self.joined[slot as usize])
+    }
+
+    /// The node's current Cyclon view (r-links), in view order.
+    pub fn r_links(&self, id: NodeId) -> Vec<NodeId> {
+        let Some(slot) = self.lookup_live(id.as_u64()) else {
+            return Vec::new();
+        };
+        let base = slot as usize * self.cyc;
+        let len = self.cy_len[slot as usize] as usize;
+        self.cy_id[base..base + len]
+            .iter()
+            .map(|&raw| NodeId::new(raw))
+            .collect()
+    }
+
+    /// Access to the simulation RNG, for drivers that need extra randomness
+    /// tied to the same seed.
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+
+    /// The slot of a live node, found by binary search over the id-sorted
+    /// live index.
+    fn lookup_live(&self, id: u64) -> Option<u32> {
+        self.by_id
+            .binary_search_by(|&slot| self.ids[slot as usize].cmp(&id))
+            .ok()
+            .map(|i| self.by_id[i])
+    }
+
+    /// Creates a brand-new node, reusing a free slot when one exists.
+    /// RNG-compatible with [`crate::Network::spawn_node`]: exactly `rings`
+    /// uniform draws for the ring positions, nothing else.
+    pub fn spawn_node(&mut self, introducer: Option<NodeId>) -> NodeId {
+        let id = self.next_id;
+        self.next_id += 1;
+
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.ids.len()).expect("slot index fits in u32");
+                self.ids.push(0);
+                self.joined.push(0);
+                self.positions.resize(self.positions.len() + self.rings, 0);
+                self.cy_id.resize(self.cy_id.len() + self.cyc, 0);
+                self.cy_age.resize(self.cy_age.len() + self.cyc, 0);
+                self.cy_pos
+                    .resize(self.cy_pos.len() + self.cyc * self.rings, 0);
+                self.cy_len.push(0);
+                let vi_slots = self.vic_rings * self.vic;
+                self.vi_id.resize(self.vi_id.len() + vi_slots, 0);
+                self.vi_age.resize(self.vi_age.len() + vi_slots, 0);
+                self.vi_key.resize(self.vi_key.len() + vi_slots, 0);
+                self.vi_len.resize(self.vi_len.len() + self.vic_rings, 0);
+                self.live.grow_to(self.ids.len());
+                slot
+            }
+        };
+        let s = slot as usize;
+        self.ids[s] = id;
+        self.joined[s] = self.cycle;
+        let pos_base = s * self.rings;
+        for r in 0..self.rings {
+            self.positions[pos_base + r] = self.rng.gen();
+        }
+        self.cy_len[s] = 0;
+        for r in 0..self.vic_rings {
+            self.vi_len[s * self.vic_rings + r] = 0;
+        }
+
+        if let Some(contact) = introducer {
+            if let Some(cslot) = self.lookup_live(contact.as_u64()) {
+                let cs = cslot as usize;
+                self.cy_id[s * self.cyc] = contact.as_u64();
+                self.cy_age[s * self.cyc] = 0;
+                let dst = s * self.cyc * self.rings;
+                let src = cs * self.rings;
+                self.cy_pos[dst..dst + self.rings]
+                    .copy_from_slice(&self.positions[src..src + self.rings]);
+                self.cy_len[s] = 1;
+            }
+        }
+
+        self.live.set(slot);
+        // Ids grow monotonically, so appending keeps `by_id` sorted.
+        self.by_id.push(slot);
+        NodeId::new(id)
+    }
+
+    /// Removes a node for good; its slot goes onto the free-list for the
+    /// next join. Returns `true` if the node existed.
+    pub fn kill_node(&mut self, id: NodeId) -> bool {
+        match self
+            .by_id
+            .binary_search_by(|&slot| self.ids[slot as usize].cmp(&id.as_u64()))
+        {
+            Ok(i) => {
+                let slot = self.by_id.remove(i);
+                self.live.clear(slot);
+                self.free.push(slot);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Picks a uniformly random live node, if any. RNG-compatible with
+    /// [`crate::Network::random_live_node`] (one `choose` over the
+    /// id-ordered live list).
+    pub fn random_live_node(&mut self) -> Option<NodeId> {
+        let slot = self.by_id.choose(&mut self.rng).copied()?;
+        Some(NodeId::new(self.ids[slot as usize]))
+    }
+
+    /// Runs `count` gossip cycles (epoch steps).
+    pub fn run_cycles(&mut self, count: usize) {
+        for _ in 0..count {
+            self.run_single_cycle();
+        }
+    }
+
+    fn run_single_cycle(&mut self) {
+        self.cycle += 1;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.order.clear();
+        scratch.order.extend_from_slice(&self.by_id);
+        scratch.order.shuffle(&mut self.rng);
+        for i in 0..scratch.order.len() {
+            let slot = scratch.order[i];
+            // Mirrors the id-keyed runtime's "node may have been removed by
+            // churn applied mid-cycle" guard.
+            if !self.live.get(slot) {
+                continue;
+            }
+            let my_id = self.ids[slot as usize];
+            self.cyclon_gossip(slot, my_id, &mut scratch);
+            for ring in 0..self.vic_rings {
+                self.vicinity_gossip(slot, my_id, ring, &mut scratch);
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    // ---- Cyclon over the arena ------------------------------------------
+
+    /// Returns `true` if the slot's Cyclon view contains `id`.
+    fn cy_contains(&self, slot: u32, id: u64) -> bool {
+        let base = slot as usize * self.cyc;
+        let len = self.cy_len[slot as usize] as usize;
+        self.cy_id[base..base + len].contains(&id)
+    }
+
+    /// Appends a descriptor to the slot's Cyclon view (caller checks room).
+    fn cy_push(&mut self, slot: u32, id: u64, age: u32, profile: &[u64]) {
+        let s = slot as usize;
+        let len = self.cy_len[s] as usize;
+        debug_assert!(len < self.cyc);
+        self.cy_id[s * self.cyc + len] = id;
+        self.cy_age[s * self.cyc + len] = age;
+        let dst = (s * self.cyc + len) * self.rings;
+        self.cy_pos[dst..dst + self.rings].copy_from_slice(profile);
+        self.cy_len[s] = (len + 1) as u32;
+    }
+
+    /// Removes the view entry at position `pos`, shifting later entries
+    /// left (the arena equivalent of `Vec::remove`, preserving order).
+    fn cy_remove_at(&mut self, slot: u32, pos: usize) {
+        let s = slot as usize;
+        let len = self.cy_len[s] as usize;
+        debug_assert!(pos < len);
+        let base = s * self.cyc;
+        self.cy_id
+            .copy_within(base + pos + 1..base + len, base + pos);
+        self.cy_age
+            .copy_within(base + pos + 1..base + len, base + pos);
+        let pbase = base * self.rings;
+        self.cy_pos.copy_within(
+            pbase + (pos + 1) * self.rings..pbase + len * self.rings,
+            pbase + pos * self.rings,
+        );
+        self.cy_len[s] = (len - 1) as u32;
+    }
+
+    /// Removes the descriptor for `id` if present. Returns `true` on removal.
+    fn cy_remove_id(&mut self, slot: u32, id: u64) -> bool {
+        let base = slot as usize * self.cyc;
+        let len = self.cy_len[slot as usize] as usize;
+        match self.cy_id[base..base + len].iter().position(|&e| e == id) {
+            Some(pos) => {
+                self.cy_remove_at(slot, pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One Cyclon shuffle initiated by `slot`: ageing, oldest-neighbour
+    /// selection, request/reply payloads and both merges — the arena replay
+    /// of `CyclonNode::{begin_cycle, initiate_shuffle,
+    /// handle_shuffle_request, handle_shuffle_response}`.
+    fn cyclon_gossip(&mut self, slot: u32, my_id: u64, s: &mut EpochScratch) {
+        let rings = self.rings;
+        let base = slot as usize * self.cyc;
+        let len = self.cy_len[slot as usize] as usize;
+
+        // begin_cycle: age every entry by one (saturating).
+        for age in &mut self.cy_age[base..base + len] {
+            *age = age.saturating_add(1);
+        }
+        if len == 0 {
+            return; // An isolated node cannot shuffle.
+        }
+
+        // initiate_shuffle: pick the oldest entry (ties toward lower id)...
+        let mut best = 0usize;
+        for i in 1..len {
+            let (ba, bi) = (self.cy_age[base + best], self.cy_id[base + best]);
+            let (ia, ii) = (self.cy_age[base + i], self.cy_id[base + i]);
+            if ia > ba || (ia == ba && ii < bi) {
+                best = i;
+            }
+        }
+        let target = self.cy_id[base + best];
+        // ...remove it from the view...
+        self.cy_remove_at(slot, best);
+        let len = len - 1;
+
+        // ...and build the request: `shuf - 1` random remaining entries
+        // (full shuffle + truncate, matching `View::random_descriptors`'
+        // draw sequence) plus a fresh descriptor of the initiator.
+        s.sent.clear();
+        s.sent_prof.clear();
+        for i in 0..len {
+            let pofs = s.sent_prof.len() as u32;
+            let src = (base + i) * rings;
+            s.sent_prof
+                .extend_from_slice(&self.cy_pos[src..src + rings]);
+            s.sent
+                .push((self.cy_id[base + i], self.cy_age[base + i], pofs));
+        }
+        s.sent.shuffle(&mut self.rng);
+        s.sent.truncate(self.shuf.saturating_sub(1));
+        {
+            let pofs = s.sent_prof.len() as u32;
+            let pos_base = slot as usize * rings;
+            s.sent_prof
+                .extend_from_slice(&self.positions[pos_base..pos_base + rings]);
+            s.sent.push((my_id, 0, pofs));
+        }
+
+        match self.lookup_live(target) {
+            Some(peer) => {
+                // handle_shuffle_request: the reply is `shuf` random entries
+                // of the peer's view (never the initiator), captured before
+                // the peer merges the request.
+                let pbase = peer as usize * self.cyc;
+                let plen = self.cy_len[peer as usize] as usize;
+                s.reply.clear();
+                s.reply_prof.clear();
+                for i in 0..plen {
+                    let id = self.cy_id[pbase + i];
+                    if id == my_id {
+                        continue;
+                    }
+                    let pofs = s.reply_prof.len() as u32;
+                    let src = (pbase + i) * rings;
+                    s.reply_prof
+                        .extend_from_slice(&self.cy_pos[src..src + rings]);
+                    s.reply.push((id, self.cy_age[pbase + i], pofs));
+                }
+                s.reply.shuffle(&mut self.rng);
+                s.reply.truncate(self.shuf);
+
+                let EpochScratch {
+                    sent,
+                    sent_prof,
+                    reply,
+                    reply_prof,
+                    replaceable,
+                    ..
+                } = s;
+                // Peer merges the request (may evict what it just sent)...
+                self.cyclon_merge(peer, sent, sent_prof, reply, replaceable);
+                // ...then the initiator merges the reply (may evict what it
+                // sent, never its own fresh descriptor).
+                self.cyclon_merge(slot, reply, reply_prof, sent, replaceable);
+            }
+            None => {
+                // shuffle_failed: nothing to repair — the dead target's
+                // descriptor already left the view above.
+            }
+        }
+    }
+
+    /// The arena replay of `CyclonNode::merge_received`: fill empty view
+    /// slots first, then evict descriptors this node shipped out (`sent`),
+    /// never anything else.
+    fn cyclon_merge(
+        &mut self,
+        slot: u32,
+        received: &[CyDesc],
+        received_prof: &[u64],
+        sent: &[CyDesc],
+        replaceable: &mut Vec<u64>,
+    ) {
+        let self_id = self.ids[slot as usize];
+        replaceable.clear();
+        replaceable.extend(sent.iter().map(|d| d.0).filter(|&id| id != self_id));
+        for &(id, age, pofs) in received {
+            if id == self_id || self.cy_contains(slot, id) {
+                continue;
+            }
+            let profile = &received_prof[pofs as usize..pofs as usize + self.rings];
+            if (self.cy_len[slot as usize] as usize) < self.cyc {
+                self.cy_push(slot, id, age, profile);
+                continue;
+            }
+            let mut evicted = false;
+            while let Some(candidate) = replaceable.pop() {
+                if self.cy_remove_id(slot, candidate) {
+                    evicted = true;
+                    break;
+                }
+            }
+            if evicted {
+                self.cy_push(slot, id, age, profile);
+            }
+        }
+    }
+
+    // ---- Vicinity over the arena ----------------------------------------
+
+    /// Base offset of a slot's Vicinity view for one ring.
+    fn vi_base(&self, slot: u32, ring: usize) -> usize {
+        (slot as usize * self.vic_rings + ring) * self.vic
+    }
+
+    fn vi_view_len(&self, slot: u32, ring: usize) -> usize {
+        self.vi_len[slot as usize * self.vic_rings + ring] as usize
+    }
+
+    /// The ring key of `id` in the slot's view, if present.
+    fn vi_get_key(&self, slot: u32, ring: usize, id: u64) -> Option<u64> {
+        let base = self.vi_base(slot, ring);
+        let len = self.vi_view_len(slot, ring);
+        self.vi_id[base..base + len]
+            .iter()
+            .position(|&e| e == id)
+            .map(|pos| self.vi_key[base + pos])
+    }
+
+    /// Removes the descriptor for `id` if present (order-preserving shift).
+    fn vi_remove_id(&mut self, slot: u32, ring: usize, id: u64) {
+        let base = self.vi_base(slot, ring);
+        let len = self.vi_view_len(slot, ring);
+        if let Some(pos) = self.vi_id[base..base + len].iter().position(|&e| e == id) {
+            self.vi_id
+                .copy_within(base + pos + 1..base + len, base + pos);
+            self.vi_age
+                .copy_within(base + pos + 1..base + len, base + pos);
+            self.vi_key
+                .copy_within(base + pos + 1..base + len, base + pos);
+            self.vi_len[slot as usize * self.vic_rings + ring] = (len - 1) as u32;
+        }
+    }
+
+    /// Projects a slot's Cyclon view onto ring `ring` — the arena replay of
+    /// `Network::ring_candidates` (every descriptor re-keyed with the peer's
+    /// position on that ring).
+    fn ring_candidates_into(&self, slot: u32, ring: usize, out: &mut Vec<ViDesc>) {
+        out.clear();
+        let base = slot as usize * self.cyc;
+        let len = self.cy_len[slot as usize] as usize;
+        for i in 0..len {
+            let key = self.cy_pos[(base + i) * self.rings + ring];
+            out.push((self.cy_id[base + i], self.cy_age[base + i], key));
+        }
+    }
+
+    /// The arena replay of `VicinityNode::payload_for`: the view entries
+    /// closest to `target_key` (never `target` itself), capped at
+    /// `gos - 1`, plus a fresh descriptor of the local node.
+    #[allow(clippy::too_many_arguments)]
+    fn vi_payload_into(
+        &self,
+        slot: u32,
+        ring: usize,
+        target_key: u64,
+        target: u64,
+        self_id: u64,
+        self_key: u64,
+        out: &mut Vec<ViDesc>,
+        rank_in: &mut Vec<(u64, NodeId, u32)>,
+        rank_taken: &mut Vec<bool>,
+        rank_out: &mut Vec<(u64, NodeId, u32)>,
+    ) {
+        let base = self.vi_base(slot, ring);
+        let len = self.vi_view_len(slot, ring);
+        rank_in.clear();
+        for i in 0..len {
+            let id = self.vi_id[base + i];
+            if id == target {
+                continue;
+            }
+            rank_in.push((
+                self.vi_key[base + i],
+                NodeId::new(id),
+                self.vi_age[base + i],
+            ));
+        }
+        rank_by_ring_distance_into(&target_key, rank_in, rank_taken, rank_out);
+        out.clear();
+        out.extend(
+            rank_out
+                .iter()
+                .take(self.gos.saturating_sub(1))
+                .map(|&(key, id, age)| (id.as_u64(), age, key)),
+        );
+        out.push((self_id, 0, self_key));
+    }
+
+    /// The arena replay of `VicinityNode::merge`: pool = own view entries +
+    /// received descriptors + random-layer candidates (younger duplicate
+    /// wins, in first-seen position), then keep the `vic` entries closest to
+    /// the local key.
+    #[allow(clippy::too_many_arguments)]
+    fn vi_merge(
+        &mut self,
+        slot: u32,
+        ring: usize,
+        received: &[ViDesc],
+        cyclon_candidates: &[ViDesc],
+        pool: &mut Vec<ViDesc>,
+        rank_in: &mut Vec<(u64, NodeId, u32)>,
+        rank_taken: &mut Vec<bool>,
+        rank_out: &mut Vec<(u64, NodeId, u32)>,
+    ) {
+        let self_id = self.ids[slot as usize];
+        let own_key = self.positions[slot as usize * self.rings + ring];
+
+        fn pool_add(pool: &mut Vec<ViDesc>, self_id: u64, d: ViDesc) {
+            if d.0 == self_id {
+                return;
+            }
+            match pool.iter_mut().find(|e| e.0 == d.0) {
+                Some(existing) => {
+                    if d.1 < existing.1 {
+                        *existing = d;
+                    }
+                }
+                None => pool.push(d),
+            }
+        }
+
+        pool.clear();
+        let base = self.vi_base(slot, ring);
+        let len = self.vi_view_len(slot, ring);
+        for i in 0..len {
+            pool_add(
+                pool,
+                self_id,
+                (
+                    self.vi_id[base + i],
+                    self.vi_age[base + i],
+                    self.vi_key[base + i],
+                ),
+            );
+        }
+        for &d in received {
+            pool_add(pool, self_id, d);
+        }
+        for &d in cyclon_candidates {
+            pool_add(pool, self_id, d);
+        }
+
+        rank_in.clear();
+        rank_in.extend(
+            pool.iter()
+                .map(|&(id, age, key)| (key, NodeId::new(id), age)),
+        );
+        rank_by_ring_distance_into(&own_key, rank_in, rank_taken, rank_out);
+
+        let take = rank_out.len().min(self.vic);
+        for (i, &(key, id, age)) in rank_out.iter().take(take).enumerate() {
+            self.vi_id[base + i] = id.as_u64();
+            self.vi_age[base + i] = age;
+            self.vi_key[base + i] = key;
+        }
+        self.vi_len[slot as usize * self.vic_rings + ring] = take as u32;
+    }
+
+    /// One Vicinity exchange on ring `ring` initiated by `slot` — the arena
+    /// replay of `VicinityNode::{begin_cycle, initiate_exchange,
+    /// handle_exchange_request, handle_exchange_response, exchange_failed}`.
+    fn vicinity_gossip(&mut self, slot: u32, my_id: u64, ring: usize, s: &mut EpochScratch) {
+        // The random layer feeds candidates into the proximity layer (from
+        // the initiator's *current* Cyclon view, after its shuffle).
+        let EpochScratch {
+            cand,
+            cand_peer,
+            pay,
+            reply_v,
+            pool,
+            rank_in,
+            rank_taken,
+            rank_out,
+            ..
+        } = s;
+        self.ring_candidates_into(slot, ring, cand);
+
+        // begin_cycle: age every view entry.
+        let base = self.vi_base(slot, ring);
+        let len = self.vi_view_len(slot, ring);
+        for age in &mut self.vi_age[base..base + len] {
+            *age = age.saturating_add(1);
+        }
+
+        // initiate_exchange: the oldest view entry, or — while the view is
+        // still empty — a uniformly random Cyclon candidate (one
+        // `gen_range` draw, exactly like the id-keyed runtime).
+        let own_key = self.positions[slot as usize * self.rings + ring];
+        let target = if len > 0 {
+            let mut best = 0usize;
+            for i in 1..len {
+                let (ba, bi) = (self.vi_age[base + best], self.vi_id[base + best]);
+                let (ia, ii) = (self.vi_age[base + i], self.vi_id[base + i]);
+                if ia > ba || (ia == ba && ii < bi) {
+                    best = i;
+                }
+            }
+            self.vi_id[base + best]
+        } else {
+            if cand.is_empty() {
+                return; // No partner known at all.
+            }
+            cand[self.rng.gen_range(0..cand.len())].0
+        };
+        let target_key = self
+            .vi_get_key(slot, ring, target)
+            .or_else(|| cand.iter().find(|d| d.0 == target).map(|d| d.2))
+            .unwrap_or(own_key);
+        self.vi_payload_into(
+            slot, ring, target_key, target, my_id, own_key, pay, rank_in, rank_taken, rank_out,
+        );
+
+        match self.lookup_live(target) {
+            Some(peer) => {
+                let peer_id = self.ids[peer as usize];
+                let peer_key = self.positions[peer as usize * self.rings + ring];
+                self.ring_candidates_into(peer, ring, cand_peer);
+                // handle_exchange_request: the reply targets the initiator's
+                // neighbourhood and is captured before the peer merges.
+                self.vi_payload_into(
+                    peer, ring, own_key, my_id, peer_id, peer_key, reply_v, rank_in, rank_taken,
+                    rank_out,
+                );
+                self.vi_merge(
+                    peer, ring, pay, cand_peer, pool, rank_in, rank_taken, rank_out,
+                );
+                // handle_exchange_response on the initiator.
+                self.vi_merge(
+                    slot, ring, reply_v, cand, pool, rank_in, rank_taken, rank_out,
+                );
+            }
+            None => {
+                // exchange_failed: drop the dead peer so the ring can
+                // re-close around it.
+                self.vi_remove_id(slot, ring, target);
+            }
+        }
+    }
+
+    // ---- Exports ---------------------------------------------------------
+
+    /// The node's ring neighbours `(predecessor, successor)` on one ring,
+    /// computed from its Vicinity view exactly like
+    /// `VicinityNode::ring_neighbors`.
+    fn ring_neighbors_of(&self, slot: u32, ring: usize) -> (Option<NodeId>, Option<NodeId>) {
+        let base = self.vi_base(slot, ring);
+        let len = self.vi_view_len(slot, ring);
+        let own_key = self.positions[slot as usize * self.rings + ring];
+        let pairs: Vec<(u64, NodeId)> = (0..len)
+            .map(|i| (self.vi_key[base + i], NodeId::new(self.vi_id[base + i])))
+            .collect();
+        ring_neighbors(&own_key, &pairs)
+    }
+
+    /// Appends the node's d-links (ring neighbours on every ring,
+    /// deduplicated within the node, predecessor before successor) to `out`.
+    fn push_d_links(&self, slot: u32, out: &mut Vec<NodeId>) {
+        let start = out.len();
+        for ring in 0..self.vic_rings {
+            let (pred, succ) = self.ring_neighbors_of(slot, ring);
+            for link in [pred, succ].into_iter().flatten() {
+                if !out[start..].contains(&link) {
+                    out.push(link);
+                }
+            }
+        }
+    }
+
+    /// Exports a frozen id-keyed snapshot, bit-identical to
+    /// [`crate::Network::overlay_snapshot`] for the same seed and history.
+    pub fn overlay_snapshot(&self) -> OverlaySnapshot {
+        let mut entries = BTreeMap::new();
+        for &slot in &self.by_id {
+            let s = slot as usize;
+            let base = s * self.cyc;
+            let len = self.cy_len[s] as usize;
+            let r_links = self.cy_id[base..base + len]
+                .iter()
+                .map(|&raw| NodeId::new(raw))
+                .collect();
+            let mut d_links = Vec::new();
+            self.push_d_links(slot, &mut d_links);
+            entries.insert(
+                NodeId::new(self.ids[s]),
+                NodeSnapshot {
+                    ring_position: self.positions[s * self.rings],
+                    joined_at_cycle: self.joined[s],
+                    r_links,
+                    d_links,
+                },
+            );
+        }
+        OverlaySnapshot::new(self.cycle, entries)
+    }
+
+    /// Exports the current overlay as flat CSR link arrays, skipping the
+    /// id-keyed snapshot entirely. `hybridcast-core` builds its dense
+    /// dissemination overlay straight from this.
+    pub fn flat_links(&self) -> FlatLinks {
+        let n = self.by_id.len();
+        let mut ids = Vec::with_capacity(n);
+        let mut r_offsets = Vec::with_capacity(n + 1);
+        let mut r_targets = Vec::new();
+        let mut d_offsets = Vec::with_capacity(n + 1);
+        let mut d_targets = Vec::new();
+        r_offsets.push(0);
+        d_offsets.push(0);
+        for &slot in &self.by_id {
+            let s = slot as usize;
+            ids.push(NodeId::new(self.ids[s]));
+            let base = s * self.cyc;
+            let len = self.cy_len[s] as usize;
+            r_targets.extend(
+                self.cy_id[base..base + len]
+                    .iter()
+                    .map(|&raw| NodeId::new(raw)),
+            );
+            self.push_d_links(slot, &mut d_targets);
+            r_offsets.push(u32::try_from(r_targets.len()).expect("r-link count fits in u32"));
+            d_offsets.push(u32::try_from(d_targets.len()).expect("d-link count fits in u32"));
+        }
+        FlatLinks {
+            ids,
+            r_offsets,
+            r_targets,
+            d_offsets,
+            d_targets,
+        }
+    }
+}
+
+impl GossipRuntime for DenseSimNetwork {
+    fn cycle(&self) -> u64 {
+        DenseSimNetwork::cycle(self)
+    }
+
+    fn len(&self) -> usize {
+        DenseSimNetwork::len(self)
+    }
+
+    fn live_ids(&self) -> Vec<NodeId> {
+        DenseSimNetwork::live_ids(self)
+    }
+
+    fn is_live(&self, id: NodeId) -> bool {
+        DenseSimNetwork::is_live(self, id)
+    }
+
+    fn joined_at(&self, id: NodeId) -> Option<u64> {
+        DenseSimNetwork::joined_at_cycle(self, id)
+    }
+
+    fn spawn_node(&mut self, introducer: Option<NodeId>) -> NodeId {
+        DenseSimNetwork::spawn_node(self, introducer)
+    }
+
+    fn kill_node(&mut self, id: NodeId) -> bool {
+        DenseSimNetwork::kill_node(self, id)
+    }
+
+    fn random_live_node(&mut self) -> Option<NodeId> {
+        DenseSimNetwork::random_live_node(self)
+    }
+
+    fn run_cycles(&mut self, count: usize) {
+        DenseSimNetwork::run_cycles(self, count)
+    }
+
+    fn overlay_snapshot(&self) -> OverlaySnapshot {
+        DenseSimNetwork::overlay_snapshot(self)
+    }
+}
+
+/// Runs `f` once per seed, fanned out across `threads` workers, returning
+/// the results in seed order.
+///
+/// Every run is a pure function of its seed (a [`DenseSimNetwork`] owns its
+/// RNG), so the result vector is **bit-identical for every thread count** —
+/// `threads` only decides wall-clock time. Derive the per-run seeds with the
+/// experiment layer's `run_seed(master, i)` mixer (or any other pure
+/// scheme) and pass them here.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn par_map_seeds<T, F>(seeds: &[u64], threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = threads.max(1).min(seeds.len().max(1));
+    if threads == 1 {
+        return seeds.iter().map(|&seed| f(seed)).collect();
+    }
+    let chunk = seeds.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = seeds
+            .chunks(chunk)
+            .map(|chunk_seeds| {
+                scope.spawn(move || chunk_seeds.iter().map(|&seed| f(seed)).collect::<Vec<T>>())
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("seeded simulation worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::{ChurnConfig, ChurnDriver};
+    use crate::network::Network;
+
+    fn config(nodes: usize) -> SimConfig {
+        SimConfig {
+            nodes,
+            warmup_cycles: 0,
+            ..SimConfig::default()
+        }
+    }
+
+    fn pair(nodes: usize, seed: u64) -> (DenseSimNetwork, Network) {
+        (
+            DenseSimNetwork::new(config(nodes), seed),
+            Network::new(config(nodes), seed),
+        )
+    }
+
+    #[test]
+    fn bootstrap_matches_the_btree_runtime() {
+        let (dense, btree) = pair(50, 1);
+        assert_eq!(dense.len(), 50);
+        assert_eq!(dense.overlay_snapshot(), btree.overlay_snapshot());
+    }
+
+    #[test]
+    fn warmed_overlays_are_bit_identical() {
+        let (mut dense, mut btree) = pair(80, 2);
+        dense.run_cycles(60);
+        btree.run_cycles(60);
+        assert_eq!(dense.cycle(), 60);
+        assert_eq!(dense.overlay_snapshot(), btree.overlay_snapshot());
+    }
+
+    #[test]
+    fn multi_ring_overlays_are_bit_identical() {
+        let cfg = SimConfig {
+            nodes: 40,
+            rings: 3,
+            ..SimConfig::default()
+        };
+        let mut dense = DenseSimNetwork::new(cfg.clone(), 3);
+        let mut btree = Network::new(cfg, 3);
+        dense.run_cycles(40);
+        btree.run_cycles(40);
+        assert_eq!(dense.overlay_snapshot(), btree.overlay_snapshot());
+    }
+
+    #[test]
+    fn randcast_only_mode_matches_without_vicinity() {
+        let cfg = SimConfig {
+            nodes: 30,
+            run_vicinity: false,
+            rings: 0,
+            ..SimConfig::default()
+        };
+        let mut dense = DenseSimNetwork::new(cfg.clone(), 4);
+        let mut btree = Network::new(cfg, 4);
+        dense.run_cycles(30);
+        btree.run_cycles(30);
+        assert_eq!(dense.overlay_snapshot(), btree.overlay_snapshot());
+    }
+
+    #[test]
+    fn churn_reuses_slots_and_stays_bit_identical() {
+        let (mut dense, mut btree) = pair(100, 5);
+        let mut driver_a = ChurnDriver::new(ChurnConfig { rate: 0.05 });
+        let mut driver_b = ChurnDriver::new(ChurnConfig { rate: 0.05 });
+        driver_a.run_cycles(&mut dense, 30);
+        driver_b.run_cycles(&mut btree, 30);
+        assert_eq!(dense.overlay_snapshot(), btree.overlay_snapshot());
+        assert_eq!(dense.len(), 100);
+        assert_eq!(
+            dense.slot_capacity(),
+            100,
+            "steady-state churn must recycle slots instead of growing the arena"
+        );
+        // And the RNG streams are still aligned afterwards.
+        assert_eq!(dense.random_live_node(), btree.random_live_node());
+    }
+
+    #[test]
+    fn kill_and_spawn_mirror_the_btree_runtime() {
+        let (mut dense, mut btree) = pair(20, 6);
+        dense.run_cycles(10);
+        btree.run_cycles(10);
+        let victim = NodeId::new(7);
+        assert_eq!(dense.kill_node(victim), btree.kill_node(victim));
+        assert!(!dense.kill_node(victim));
+        assert!(!dense.is_live(victim));
+        let introducer = dense.random_live_node();
+        assert_eq!(introducer, btree.random_live_node());
+        let a = dense.spawn_node(introducer);
+        let b = btree.spawn_node(introducer);
+        assert_eq!(a, b);
+        assert_eq!(dense.joined_at_cycle(a), Some(10));
+        assert_eq!(
+            dense.ring_position(a),
+            btree.node(a).map(|n| n.ring_position())
+        );
+        dense.run_cycles(10);
+        btree.run_cycles(10);
+        assert_eq!(dense.overlay_snapshot(), btree.overlay_snapshot());
+    }
+
+    #[test]
+    fn flat_links_agree_with_the_snapshot() {
+        let (mut dense, _) = pair(60, 7);
+        dense.run_cycles(40);
+        let snapshot = dense.overlay_snapshot();
+        let flat = dense.flat_links();
+        assert_eq!(flat.ids.len(), snapshot.len());
+        assert_eq!(flat.r_offsets.len(), flat.ids.len() + 1);
+        for (i, &id) in flat.ids.iter().enumerate() {
+            let r = &flat.r_targets[flat.r_offsets[i] as usize..flat.r_offsets[i + 1] as usize];
+            let d = &flat.d_targets[flat.d_offsets[i] as usize..flat.d_offsets[i + 1] as usize];
+            assert_eq!(r, snapshot.r_links(id).as_slice(), "{id} r-links");
+            assert_eq!(d, snapshot.d_links(id).as_slice(), "{id} d-links");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_and_different_seeds_differ() {
+        let mut a = DenseSimNetwork::new(config(50), 9);
+        let mut b = DenseSimNetwork::new(config(50), 9);
+        let mut c = DenseSimNetwork::new(config(50), 10);
+        a.run_cycles(20);
+        b.run_cycles(20);
+        c.run_cycles(20);
+        assert_eq!(a.overlay_snapshot(), b.overlay_snapshot());
+        assert_ne!(a.overlay_snapshot(), c.overlay_snapshot());
+    }
+
+    #[test]
+    fn r_links_accessor_matches_snapshot() {
+        let (mut dense, _) = pair(30, 11);
+        dense.run_cycles(25);
+        let snapshot = dense.overlay_snapshot();
+        for id in dense.live_ids() {
+            assert_eq!(dense.r_links(id), snapshot.r_links(id));
+        }
+        assert!(dense.r_links(NodeId::new(999)).is_empty());
+    }
+
+    #[test]
+    fn par_map_seeds_is_thread_count_invariant() {
+        let seeds: Vec<u64> = (0..7).map(|i| 1000 + i).collect();
+        let run = |seed: u64| {
+            let mut net = DenseSimNetwork::new(config(25), seed);
+            net.run_cycles(8);
+            net.overlay_snapshot()
+        };
+        let sequential = par_map_seeds(&seeds, 1, run);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                sequential,
+                par_map_seeds(&seeds, threads, run),
+                "{threads} threads"
+            );
+        }
+    }
+}

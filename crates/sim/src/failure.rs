@@ -11,12 +11,12 @@
 //! * [`kill_fraction_in_snapshot`] removes nodes from a frozen
 //!   [`OverlaySnapshot`] (the paper's setup: freeze first, then fail).
 
-use rand::seq::SliceRandom;
 use rand::Rng;
 
+use hybridcast_graph::sample::partial_fisher_yates;
 use hybridcast_graph::NodeId;
 
-use crate::network::Network;
+use crate::runtime::GossipRuntime;
 use crate::snapshot::OverlaySnapshot;
 
 /// Selects `floor(fraction * population)` distinct victims uniformly at
@@ -36,15 +36,15 @@ pub fn select_victims<R: Rng + ?Sized>(
     );
     let count = (population_ids.len() as f64 * fraction).floor() as usize;
     let mut ids = population_ids.to_vec();
-    ids.shuffle(rng);
-    ids.truncate(count);
+    partial_fisher_yates(&mut ids, count, rng);
     ids
 }
 
-/// Kills a random `fraction` of the live nodes in a running network.
-/// Returns the ids of the killed nodes.
-pub fn kill_fraction_in_network<R: Rng + ?Sized>(
-    network: &mut Network,
+/// Kills a random `fraction` of the live nodes in a running network (either
+/// the id-keyed [`crate::Network`] or the arena-based
+/// [`crate::DenseSimNetwork`]). Returns the ids of the killed nodes.
+pub fn kill_fraction_in_network<N: GossipRuntime + ?Sized, R: Rng + ?Sized>(
+    network: &mut N,
     fraction: f64,
     rng: &mut R,
 ) -> Vec<NodeId> {
@@ -75,6 +75,7 @@ pub fn kill_fraction_in_snapshot<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::config::SimConfig;
+    use crate::network::Network;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

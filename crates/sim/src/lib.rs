@@ -21,6 +21,16 @@
 //! * [`network::Network::overlay_snapshot`] exports the current r-link /
 //!   d-link graphs for dissemination experiments.
 //!
+//! For large populations the crate also ships an arena-based epoch runtime,
+//! [`dense::DenseSimNetwork`]: the same simulation over flat slot arenas
+//! (slab + free-list, fixed-stride views, liveness bitset) that runs
+//! allocation-free per cycle and exports flat link arrays straight to the
+//! dense dissemination engine. It is **bit-identical** to
+//! [`network::Network`] per seed — the id-keyed runtime doubles as the
+//! differential-testing oracle — and both are driven through the shared
+//! [`runtime::GossipRuntime`] trait, so every churn / failure / session
+//! policy works on either.
+//!
 //! All randomness flows through a caller-provided seed, so every experiment
 //! is reproducible.
 //!
@@ -42,11 +52,15 @@
 
 pub mod churn;
 pub mod config;
+pub mod dense;
 pub mod failure;
 pub mod network;
+pub mod runtime;
 pub mod sessions;
 pub mod snapshot;
 
 pub use config::SimConfig;
+pub use dense::{DenseSimNetwork, FlatLinks};
 pub use network::Network;
+pub use runtime::GossipRuntime;
 pub use snapshot::OverlaySnapshot;

@@ -13,6 +13,7 @@ use hybridcast_membership::proximity::RingPosition;
 use hybridcast_membership::vicinity::{PendingExchange, VicinityNode};
 
 use crate::config::SimConfig;
+use crate::runtime::GossipRuntime;
 use crate::snapshot::{NodeSnapshot, OverlaySnapshot};
 
 /// The application profile carried inside Cyclon descriptors: the node's
@@ -338,6 +339,48 @@ impl Network {
     /// tied to the same seed (e.g. choosing dissemination origins).
     pub fn rng(&mut self) -> &mut ChaCha8Rng {
         &mut self.rng
+    }
+}
+
+impl GossipRuntime for Network {
+    fn cycle(&self) -> u64 {
+        Network::cycle(self)
+    }
+
+    fn len(&self) -> usize {
+        Network::len(self)
+    }
+
+    fn live_ids(&self) -> Vec<NodeId> {
+        Network::live_ids(self)
+    }
+
+    fn is_live(&self, id: NodeId) -> bool {
+        Network::is_live(self, id)
+    }
+
+    fn joined_at(&self, id: NodeId) -> Option<u64> {
+        self.node(id).map(SimNode::joined_at_cycle)
+    }
+
+    fn spawn_node(&mut self, introducer: Option<NodeId>) -> NodeId {
+        Network::spawn_node(self, introducer)
+    }
+
+    fn kill_node(&mut self, id: NodeId) -> bool {
+        Network::kill_node(self, id)
+    }
+
+    fn random_live_node(&mut self) -> Option<NodeId> {
+        Network::random_live_node(self)
+    }
+
+    fn run_cycles(&mut self, count: usize) {
+        Network::run_cycles(self, count)
+    }
+
+    fn overlay_snapshot(&self) -> OverlaySnapshot {
+        Network::overlay_snapshot(self)
     }
 }
 

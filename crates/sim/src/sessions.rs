@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::NodeId;
 
-use crate::network::Network;
+use crate::runtime::GossipRuntime;
 
 /// Distribution of session lengths (in gossip cycles).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -106,7 +106,8 @@ impl SessionChurnConfig {
     }
 }
 
-/// Drives a [`Network`] under session-based churn.
+/// Drives a [`GossipRuntime`] (the id-keyed [`crate::Network`] or the
+/// arena-based [`crate::DenseSimNetwork`]) under session-based churn.
 #[derive(Debug)]
 pub struct SessionChurnDriver {
     config: SessionChurnConfig,
@@ -125,7 +126,11 @@ impl SessionChurnDriver {
     /// # Panics
     ///
     /// Panics if the configuration does not validate.
-    pub fn new(config: SessionChurnConfig, network: &Network, seed: u64) -> Self {
+    pub fn new<N: GossipRuntime + ?Sized>(
+        config: SessionChurnConfig,
+        network: &N,
+        seed: u64,
+    ) -> Self {
         config
             .validate()
             .expect("invalid session churn configuration");
@@ -165,7 +170,10 @@ impl SessionChurnDriver {
     /// at the network's current cycle, and admits the accumulated arrivals
     /// (each bootstrapped with a random live introducer and a freshly
     /// sampled session length).
-    pub fn apply_step(&mut self, network: &mut Network) -> (Vec<NodeId>, Vec<NodeId>) {
+    pub fn apply_step<N: GossipRuntime + ?Sized>(
+        &mut self,
+        network: &mut N,
+    ) -> (Vec<NodeId>, Vec<NodeId>) {
         let now = network.cycle();
 
         let expired: Vec<NodeId> = self
@@ -196,7 +204,7 @@ impl SessionChurnDriver {
     }
 
     /// Runs `cycles` gossip cycles, applying one churn step before each.
-    pub fn run_cycles(&mut self, network: &mut Network, cycles: usize) {
+    pub fn run_cycles<N: GossipRuntime + ?Sized>(&mut self, network: &mut N, cycles: usize) {
         for _ in 0..cycles {
             self.apply_step(network);
             network.run_cycles(1);
@@ -208,6 +216,7 @@ impl SessionChurnDriver {
 mod tests {
     use super::*;
     use crate::config::SimConfig;
+    use crate::network::Network;
 
     fn network(nodes: usize, seed: u64) -> Network {
         Network::new(
