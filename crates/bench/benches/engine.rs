@@ -1,18 +1,30 @@
-//! Criterion comparison of the two dissemination engines: the original
-//! id-keyed BTree engine (`disseminate`) vs. the allocation-free dense CSR
-//! engine (`disseminate_dense`), on the same warmed overlay with the same
-//! protocols.
+//! Criterion comparison of the BTree and dense dissemination engines on
+//! the same warmed overlay with the same protocols, across all three
+//! dissemination modes:
+//!
+//! * hop-synchronous push: `disseminate` vs. `disseminate_dense`,
+//! * event-driven latency model: `disseminate_async_frozen` vs.
+//!   `disseminate_async_dense`,
+//! * push + pull anti-entropy: `disseminate_push_pull` vs.
+//!   `disseminate_push_pull_dense`.
 //!
 //! The overlay size defaults to 1,000 nodes; set `HYBRIDCAST_BENCH_NODES`
-//! to run at a different scale (CI smoke-runs this at a reduced size).
+//! to run at a different scale (CI smoke-runs this at a reduced size; the
+//! latency-ablation acceptance measurement runs it at 10,000).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use hybridcast_core::async_engine::{
+    disseminate_async_dense, disseminate_async_frozen, AsyncConfig, DenseAsyncScratch,
+};
 use hybridcast_core::engine::{disseminate, disseminate_dense, DenseScratch};
 use hybridcast_core::overlay::{DenseOverlay, Overlay, SnapshotOverlay};
 use hybridcast_core::protocols::DenseSelector;
+use hybridcast_core::pull::{
+    disseminate_push_pull, disseminate_push_pull_dense, DensePullScratch, PullConfig,
+};
 use hybridcast_sim::{Network, SimConfig};
 
 fn bench_nodes() -> usize {
@@ -60,6 +72,67 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_async_engines(c: &mut Criterion) {
+    let nodes = bench_nodes();
+    let overlay = warmed_overlay(nodes);
+    let dense = DenseOverlay::from(&overlay);
+    let origin = overlay.live_node_ids()[0];
+    let config = AsyncConfig {
+        gossip_period: 10.0,
+        forwarding_delay: 1.0,
+        jitter: 0.1,
+        run_membership_gossip: false,
+        max_time: 1_000_000.0,
+    };
+    let protocols = [
+        ("randcast_f5", DenseSelector::randcast(5)),
+        ("ringcast_f3", DenseSelector::ringcast(3)),
+    ];
+
+    let mut group = c.benchmark_group(format!("async_engine/n{nodes}"));
+    for (name, selector) in &protocols {
+        group.bench_function(format!("btree/{name}"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            b.iter(|| disseminate_async_frozen(&overlay, selector, origin, &config, &mut rng))
+        });
+        group.bench_function(format!("dense/{name}"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let mut scratch = DenseAsyncScratch::new();
+            b.iter(|| {
+                disseminate_async_dense(&dense, selector, origin, &config, &mut rng, &mut scratch)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pull_engines(c: &mut Criterion) {
+    let nodes = bench_nodes();
+    let overlay = warmed_overlay(nodes);
+    let dense = DenseOverlay::from(&overlay);
+    let origin = overlay.live_node_ids()[0];
+    // RandCast at fanout 2 leaves real work for the pull phase to do.
+    let selector = DenseSelector::randcast(2);
+    let config = PullConfig {
+        fanout: 1,
+        max_rounds: 50,
+    };
+
+    let mut group = c.benchmark_group(format!("pull_engine/n{nodes}"));
+    group.bench_function("btree/randcast_f2", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        b.iter(|| disseminate_push_pull(&overlay, &selector, origin, config, &mut rng))
+    });
+    group.bench_function("dense/randcast_f2", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut scratch = DensePullScratch::new();
+        b.iter(|| {
+            disseminate_push_pull_dense(&dense, &selector, origin, config, &mut rng, &mut scratch)
+        })
+    });
+    group.finish();
+}
+
 fn bench_dense_conversion(c: &mut Criterion) {
     let overlay = warmed_overlay(bench_nodes());
     c.bench_function("engine/snapshot_to_dense", |b| {
@@ -67,5 +140,11 @@ fn bench_dense_conversion(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_engines, bench_dense_conversion);
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_async_engines,
+    bench_pull_engines,
+    bench_dense_conversion
+);
 criterion_main!(benches);

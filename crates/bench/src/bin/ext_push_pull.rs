@@ -5,6 +5,10 @@
 //! after the push phase alone and after the pull phase, plus the pull cost
 //! in rounds and messages. `--fraction 0.05` adds a catastrophic failure
 //! before disseminating.
+//!
+//! Runs on the allocation-free dense pull engine by default, fanning the
+//! seeded runs of each configuration across worker threads (`--threads`);
+//! `--engine btree` selects the original sequential id-keyed engine.
 
 use std::process::ExitCode;
 
@@ -28,10 +32,11 @@ fn run() -> Result<(), String> {
     }
     let fraction: f64 = args.get_or("fraction", 0.0)?;
     eprintln!(
-        "# ext: push + pull anti-entropy, {} nodes, {} runs/fanout, failure {:.0}%",
+        "# ext: push + pull anti-entropy, {} nodes, {} runs/fanout, failure {:.0}%, engine {}",
         params.nodes,
         params.runs,
-        fraction * 100.0
+        fraction * 100.0,
+        params.engine
     );
     let rows = figures::push_pull_extension(&params, fraction);
     println!(

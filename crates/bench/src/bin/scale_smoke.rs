@@ -5,7 +5,10 @@
 //! This is the "millions of users" sanity gate: CI runs it at 100,000 nodes
 //! for 50 churned cycles on every push. Flags: `--nodes`, `--cycles`,
 //! `--churn-rate`, `--seed`, `--fanout`, `--engine dense|btree` (the BTree
-//! runtime is the oracle and is much slower — use small `--nodes` with it).
+//! runtime is the oracle and is much slower — use small `--nodes` with it),
+//! and `--async`, which additionally pushes one message through the dense
+//! event-driven latency-model engine over the same frozen overlay and gates
+//! on its coverage (the CI job passes it).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -14,6 +17,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use hybridcast_bench::{Args, EngineKind};
+use hybridcast_core::async_engine::{disseminate_async_dense, AsyncConfig, DenseAsyncScratch};
 use hybridcast_core::engine::{disseminate_dense, DenseScratch};
 use hybridcast_core::overlay::{DenseOverlay, Overlay};
 use hybridcast_core::protocols::DenseSelector;
@@ -118,5 +122,47 @@ fn run() -> Result<(), String> {
         report.last_hop,
         report.total_messages(),
     );
+
+    if args.flag("async") {
+        // The latency-model gate: the same overlay must also carry an
+        // event-driven dissemination (timestamped deliveries through the
+        // pre-sized event heap) at this scale.
+        let config = AsyncConfig {
+            gossip_period: 10.0,
+            forwarding_delay: 1.0,
+            jitter: 0.1,
+            run_membership_gossip: false,
+            max_time: 1_000_000.0,
+        };
+        let async_start = Instant::now();
+        let mut async_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA51C);
+        let mut async_scratch = DenseAsyncScratch::new();
+        let async_report = disseminate_async_dense(
+            &dense,
+            &DenseSelector::ringcast(fanout),
+            origin,
+            &config,
+            &mut async_rng,
+            &mut async_scratch,
+        );
+        let async_time = async_start.elapsed();
+        if async_report.hit_ratio() < 0.9 {
+            return Err(format!(
+                "async RingCast f={fanout} reached only {}/{} nodes",
+                async_report.reached, async_report.population
+            ));
+        }
+        println!(
+            "async: dissemination={:.3}s reached={}/{} messages={} completion_time={}",
+            async_time.as_secs_f64(),
+            async_report.reached,
+            async_report.population,
+            async_report.total_messages(),
+            async_report
+                .completion_time
+                .map(|t| format!("{t:.1}"))
+                .unwrap_or_else(|| "-".to_owned()),
+        );
+    }
     Ok(())
 }

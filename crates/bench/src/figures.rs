@@ -11,17 +11,19 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use hybridcast_core::experiment::{
-    random_origins, run_disseminations, run_seed, run_seeded_disseminations, AggregateStats,
+    random_origins, run_disseminations, run_seed, run_seeded_async, run_seeded_disseminations,
+    run_seeded_push_pulls, AggregateStats,
 };
 use hybridcast_core::metrics::DisseminationReport;
 use hybridcast_core::overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
 use hybridcast_core::protocols::{DenseSelector, GossipTargetSelector, RingCast};
+use hybridcast_core::pull::PushPullReport;
 use hybridcast_graph::{builders, harary, NodeId};
 use hybridcast_sim::{Network, SimConfig};
 
 use crate::scenario::{
-    catastrophic_overlay, churn_overlay_with_cycles, churn_scenario, dense_overlay, static_overlay,
-    EngineKind, ExperimentParams,
+    catastrophic_overlay, churn_overlay_with_cycles, churn_scenario, dense_overlay,
+    static_dense_overlay, static_overlay, EngineKind, ExperimentParams,
 };
 
 /// The two protocols every figure compares side by side.
@@ -367,24 +369,43 @@ pub struct PushPullRow {
     pub mean_total_messages: f64,
 }
 
+/// Reduces one configuration's [`PushPullReport`]s to a result row.
+fn push_pull_row(
+    protocol: &DenseSelector,
+    fanout: usize,
+    scenario: &str,
+    reports: &[PushPullReport],
+) -> PushPullRow {
+    let n = reports.len() as f64;
+    PushPullRow {
+        protocol: protocol.name().to_owned(),
+        fanout,
+        scenario: scenario.to_owned(),
+        push_miss_ratio: reports.iter().map(|r| r.push.miss_ratio()).sum::<f64>() / n,
+        final_miss_ratio: reports.iter().map(|r| r.miss_ratio()).sum::<f64>() / n,
+        mean_pull_rounds: reports.iter().map(|r| r.pull_rounds as f64).sum::<f64>() / n,
+        mean_total_messages: reports
+            .iter()
+            .map(|r| r.total_messages() as f64)
+            .sum::<f64>()
+            / n,
+    }
+}
+
 /// **Future-work extension (Section 8)**: push dissemination followed by
 /// pull-based anti-entropy. For each fanout and both protocols, reports the
 /// miss ratio before and after the pull phase together with its cost in
 /// rounds and messages, over a static overlay with a catastrophic failure of
 /// `fail_fraction` (use `0.0` for the failure-free case).
 ///
-/// The pull engine has no dense-path equivalent, so this experiment always
-/// runs the generic sequential engine: `params.engine` and `params.threads`
-/// have no effect here (the same applies to [`latency_ablation`], whose
-/// event-driven engine mutates the network).
+/// On the dense engine (the default) each (protocol, fanout) configuration
+/// fans `params.runs` seeded push + pull runs across
+/// [`ExperimentParams::thread_count`] worker threads over the
+/// allocation-free pull engine; `--engine btree` keeps the original
+/// sequential shared-RNG walk.
 pub fn push_pull_extension(params: &ExperimentParams, fail_fraction: f64) -> Vec<PushPullRow> {
     use hybridcast_core::pull::{disseminate_push_pull, PullConfig};
 
-    let overlay = if fail_fraction > 0.0 {
-        catastrophic_overlay(params, fail_fraction)
-    } else {
-        static_overlay(params)
-    };
     let scenario = if fail_fraction > 0.0 {
         format!("after {:.0}% catastrophic failure", fail_fraction * 100.0)
     } else {
@@ -395,33 +416,56 @@ pub fn push_pull_extension(params: &ExperimentParams, fail_fraction: f64) -> Vec
         max_rounds: 50,
     };
 
-    let mut rng = params.dissemination_rng();
+    // Each engine builds only the overlay representation it runs over.
     let mut out = Vec::new();
-    for &fanout in &params.fanouts {
-        for protocol in protocols(fanout) {
-            let origins = random_origins(&overlay, params.runs, &mut rng);
-            let mut push_miss = 0.0;
-            let mut final_miss = 0.0;
-            let mut rounds = 0.0;
-            let mut messages = 0.0;
-            for &origin in &origins {
-                let report =
-                    disseminate_push_pull(&overlay, &protocol, origin, pull_config, &mut rng);
-                push_miss += report.push.miss_ratio();
-                final_miss += report.miss_ratio();
-                rounds += report.pull_rounds as f64;
-                messages += report.total_messages() as f64;
+    let mut tag = 0u64;
+    match params.engine {
+        EngineKind::Dense => {
+            let dense = if fail_fraction > 0.0 {
+                dense_overlay(&catastrophic_overlay(params, fail_fraction))
+            } else {
+                static_dense_overlay(params)
+            };
+            for &fanout in &params.fanouts {
+                for protocol in protocols(fanout) {
+                    let reports = run_seeded_push_pulls(
+                        &dense,
+                        &protocol,
+                        pull_config,
+                        params.runs,
+                        run_seed(params.seed, tag),
+                        params.thread_count(),
+                    );
+                    tag += 1;
+                    out.push(push_pull_row(&protocol, fanout, &scenario, &reports));
+                }
             }
-            let n = origins.len() as f64;
-            out.push(PushPullRow {
-                protocol: protocol.name().to_owned(),
-                fanout,
-                scenario: scenario.clone(),
-                push_miss_ratio: push_miss / n,
-                final_miss_ratio: final_miss / n,
-                mean_pull_rounds: rounds / n,
-                mean_total_messages: messages / n,
-            });
+        }
+        EngineKind::Btree => {
+            let overlay = if fail_fraction > 0.0 {
+                catastrophic_overlay(params, fail_fraction)
+            } else {
+                static_overlay(params)
+            };
+            let mut rng = params.dissemination_rng();
+            for &fanout in &params.fanouts {
+                for protocol in protocols(fanout) {
+                    let origins = random_origins(&overlay, params.runs, &mut rng);
+                    let reports: Vec<PushPullReport> = origins
+                        .iter()
+                        .map(|&origin| {
+                            disseminate_push_pull(
+                                &overlay,
+                                &protocol,
+                                origin,
+                                pull_config,
+                                &mut rng,
+                            )
+                        })
+                        .collect();
+                    out.push(push_pull_row(&protocol, fanout, &scenario, &reports));
+                }
+            }
         }
     }
     out
@@ -466,12 +510,46 @@ pub struct LatencyAblationRow {
     pub runs: usize,
 }
 
+/// Reduces one delay setting's [`hybridcast_core::async_engine::AsyncReport`]
+/// aggregates to a result row.
+fn latency_row(
+    ratio: f64,
+    live_membership: bool,
+    runs: usize,
+    hit_sum: f64,
+    msg_sum: f64,
+    completion_sum: f64,
+    completed: usize,
+) -> LatencyAblationRow {
+    LatencyAblationRow {
+        delay_over_period: ratio,
+        live_membership,
+        mean_hit_ratio: hit_sum / runs as f64,
+        mean_messages: msg_sum / runs as f64,
+        mean_completion_time: if completed > 0 {
+            Some(completion_sum / completed as f64)
+        } else {
+            None
+        },
+        runs,
+    }
+}
+
 /// **Section 7.1 ablation (asynchronous)**: the paper claims that varying
 /// the message forwarding time from zero to several gossip periods has no
 /// effect on the macroscopic dissemination behaviour. This experiment
 /// re-runs RingCast (at the smallest configured fanout) in the event-driven
-/// engine with membership gossip running live, sweeping the forwarding
-/// delay over the given multiples of the gossip period.
+/// latency-model engine, sweeping the forwarding delay over the given
+/// multiples of the gossip period.
+///
+/// On the dense engine (the default) the overlay is grown once by the
+/// arena runtime, frozen, exported straight to CSR, and the seeded runs of
+/// every delay setting fan out across [`ExperimentParams::thread_count`]
+/// worker threads over [`hybridcast_core::async_engine::disseminate_async_dense`]
+/// — the frozen-overlay setting whose equivalence to live membership the
+/// paper asserts and the BTree arm demonstrates. `--engine btree` keeps the
+/// original path: one fresh network per run, membership gossip running
+/// *live* during the dissemination.
 pub fn latency_ablation(
     params: &ExperimentParams,
     delay_ratios: &[f64],
@@ -479,6 +557,46 @@ pub fn latency_ablation(
     use hybridcast_core::async_engine::{disseminate_async, AsyncConfig};
 
     let fanout = params.fanouts.first().copied().unwrap_or(3);
+    let async_config = |ratio: f64, live: bool| AsyncConfig {
+        gossip_period: 10.0,
+        forwarding_delay: 10.0 * ratio,
+        jitter: 0.1,
+        run_membership_gossip: live,
+        max_time: 1_000_000.0,
+    };
+
+    if params.engine == EngineKind::Dense {
+        let dense = static_dense_overlay(params);
+        let selector = DenseSelector::ringcast(fanout);
+        return delay_ratios
+            .iter()
+            .enumerate()
+            .map(|(tag, &ratio)| {
+                let reports = run_seeded_async(
+                    &dense,
+                    &selector,
+                    &async_config(ratio, false),
+                    params.runs,
+                    run_seed(params.seed, tag as u64),
+                    params.thread_count(),
+                );
+                let hit_sum = reports.iter().map(|r| r.hit_ratio()).sum();
+                let msg_sum = reports.iter().map(|r| r.messages_sent as f64).sum();
+                let completed: Vec<f64> =
+                    reports.iter().filter_map(|r| r.completion_time).collect();
+                latency_row(
+                    ratio,
+                    false,
+                    params.runs,
+                    hit_sum,
+                    msg_sum,
+                    completed.iter().sum(),
+                    completed.len(),
+                )
+            })
+            .collect();
+    }
+
     let mut out = Vec::new();
     for &ratio in delay_ratios {
         let mut hit_sum = 0.0;
@@ -491,13 +609,7 @@ pub fn latency_ablation(
             let mut network = Network::new(params.sim_config(), params.seed);
             network.run_cycles(params.warmup_cycles);
             let origin = network.live_ids()[run % params.nodes];
-            let config = AsyncConfig {
-                gossip_period: 10.0,
-                forwarding_delay: 10.0 * ratio,
-                jitter: 0.1,
-                run_membership_gossip: true,
-                max_time: 1_000_000.0,
-            };
+            let config = async_config(ratio, true);
             let mut rng =
                 ChaCha8Rng::seed_from_u64(params.seed ^ (run as u64) ^ ((ratio * 1000.0) as u64));
             let report = disseminate_async(
@@ -514,18 +626,15 @@ pub fn latency_ablation(
                 completed += 1;
             }
         }
-        out.push(LatencyAblationRow {
-            delay_over_period: ratio,
-            live_membership: true,
-            mean_hit_ratio: hit_sum / params.runs as f64,
-            mean_messages: msg_sum / params.runs as f64,
-            mean_completion_time: if completed > 0 {
-                Some(completion_sum / completed as f64)
-            } else {
-                None
-            },
-            runs: params.runs,
-        });
+        out.push(latency_row(
+            ratio,
+            true,
+            params.runs,
+            hit_sum,
+            msg_sum,
+            completion_sum,
+            completed,
+        ));
     }
     out
 }
@@ -744,6 +853,75 @@ mod tests {
                 assert!(lifetime <= params.churn_max_cycles as u64);
             }
         }
+    }
+
+    #[test]
+    fn dense_latency_ablation_is_thread_invariant_and_delay_insensitive() {
+        let mut params = tiny();
+        params.fanouts = vec![3];
+        params.runs = 6;
+        let rows = latency_ablation(&params, &[0.1, 3.0]);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(!row.live_membership, "dense runs over a frozen overlay");
+            assert_eq!(row.runs, 6);
+            assert_eq!(row.mean_hit_ratio, 1.0, "RingCast f=3 completes");
+        }
+        // The Section 7.1 claim, in the dense engine: messages identical,
+        // only completion time stretches with the forwarding delay.
+        assert_eq!(rows[0].mean_messages, rows[1].mean_messages);
+        assert!(
+            rows[1].mean_completion_time.unwrap() > rows[0].mean_completion_time.unwrap() * 5.0
+        );
+        // Thread-count invariance end to end.
+        let mut sequential = params.clone();
+        sequential.threads = 1;
+        assert_eq!(rows, latency_ablation(&sequential, &[0.1, 3.0]));
+    }
+
+    #[test]
+    fn btree_latency_ablation_remains_selectable() {
+        let mut params = tiny();
+        params.engine = EngineKind::Btree;
+        params.nodes = 120;
+        params.runs = 2;
+        params.fanouts = vec![3];
+        let rows = latency_ablation(&params, &[0.5]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].live_membership, "btree arm keeps live gossip");
+        assert_eq!(rows[0].mean_hit_ratio, 1.0);
+    }
+
+    #[test]
+    fn dense_push_pull_extension_closes_randcast_misses() {
+        let mut params = tiny();
+        params.fanouts = vec![2];
+        let rows = push_pull_extension(&params, 0.0);
+        assert_eq!(rows.len(), 2);
+        let rand = rows.iter().find(|r| r.protocol == "RandCast").unwrap();
+        assert!(rand.push_miss_ratio > 0.0, "fanout 2 push leaves misses");
+        assert!(
+            rand.final_miss_ratio < rand.push_miss_ratio / 2.0,
+            "pull closes most of the gap: {} -> {}",
+            rand.push_miss_ratio,
+            rand.final_miss_ratio
+        );
+        assert!(rand.mean_pull_rounds >= 1.0);
+        // Thread-count invariance end to end.
+        let mut sequential = params.clone();
+        sequential.threads = 1;
+        assert_eq!(rows, push_pull_extension(&sequential, 0.0));
+
+        // The BTree arm still runs and shows the same qualitative trend.
+        let mut btree = params.clone();
+        btree.engine = EngineKind::Btree;
+        btree.runs = 4;
+        let btree_rows = push_pull_extension(&btree, 0.0);
+        let btree_rand = btree_rows
+            .iter()
+            .find(|r| r.protocol == "RandCast")
+            .unwrap();
+        assert!(btree_rand.final_miss_ratio <= btree_rand.push_miss_ratio);
     }
 
     #[test]

@@ -203,6 +203,24 @@ pub fn static_overlay(params: &ExperimentParams) -> SnapshotOverlay {
     )
 }
 
+/// The static scenario frozen straight into the dense engine input: the
+/// overlay is grown by the selected runtime and — on the dense engine —
+/// exported to a [`DenseOverlay`] via the arena runtime's flat CSR links,
+/// with no id-keyed snapshot round-trip (at 100k nodes the unused snapshot
+/// would cost seconds and O(n) transient memory). Consumers that also need
+/// the id-keyed view (origin bookkeeping, oracle runs) use
+/// [`static_overlay`] instead.
+pub fn static_dense_overlay(params: &ExperimentParams) -> DenseOverlay {
+    match params.engine {
+        EngineKind::Dense => {
+            let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+            network.run_cycles(params.warmup_cycles);
+            DenseOverlay::from_dense_sim(&network)
+        }
+        EngineKind::Btree => dense_overlay(&static_overlay(params)),
+    }
+}
+
 /// Scenario 2 (Section 7.2): the static overlay of scenario 1 in which a
 /// random `fail_fraction` of the nodes is killed *after* freezing, so the
 /// overlay gets no chance to heal (the paper's worst case).
@@ -365,6 +383,17 @@ mod tests {
         let static_dense = static_overlay(&dense_params);
         let static_btree = static_overlay(&btree_params);
         assert_eq!(static_dense.snapshot(), static_btree.snapshot());
+
+        let static_dense_csr = static_dense_overlay(&dense_params);
+        let static_btree_csr = static_dense_overlay(&btree_params);
+        assert_eq!(
+            static_dense_csr.live_node_ids(),
+            static_btree_csr.live_node_ids()
+        );
+        for id in static_dense_csr.live_node_ids() {
+            assert_eq!(static_dense_csr.r_links(id), static_btree_csr.r_links(id));
+            assert_eq!(static_dense_csr.d_links(id), static_btree_csr.d_links(id));
+        }
 
         let (overlay_dense, overlay_snap, cycles_dense) = churn_scenario(&dense_params);
         let (overlay_btree, btree_snap, cycles_btree) = churn_scenario(&btree_params);

@@ -1,4 +1,4 @@
-//! Event-driven (asynchronous) dissemination over a *live* network.
+//! Event-driven (asynchronous, latency-model) dissemination engines.
 //!
 //! The hop-synchronous engine ([`crate::engine`]) evaluates dissemination
 //! over a frozen overlay, which is how the paper runs its experiments. The
@@ -6,14 +6,29 @@
 //! forwarding time from zero to several times the gossip period and
 //! "recorded no effect whatsoever on the macroscopic behavior of
 //! disseminations". This module provides the machinery to *check* that
-//! claim rather than assume it: a discrete-event simulation in which
+//! claim rather than assume it: a discrete-event simulation in which every
+//! dissemination forward takes a configurable processing + network delay
+//! (jittered per message) and deliveries interleave in timestamp order.
 //!
-//! * every node keeps running its Cyclon and Vicinity gossip on its own
-//!   (jittered) period, so the overlay keeps evolving mid-dissemination,
-//! * dissemination forwards take a configurable processing + network delay,
-//!   also jittered per message,
-//! * deliveries, gossip exchanges and overlay changes interleave in
-//!   timestamp order.
+//! Three entry points share the model:
+//!
+//! * [`disseminate_async`] — the full live-network engine: every node keeps
+//!   running its Cyclon and Vicinity gossip on its own (jittered) period,
+//!   so the overlay keeps evolving mid-dissemination. This is the engine
+//!   that validates the frozen-overlay simplification itself.
+//! * [`disseminate_async_frozen`] — the same event-driven latency model
+//!   over a frozen [`Overlay`]: no membership gossip, links fixed for the
+//!   whole run. Event-for-event identical to [`disseminate_async`] with
+//!   [`AsyncConfig::run_membership_gossip`]` = false` over the matching
+//!   snapshot. This id-keyed `BTreeMap`/`BTreeSet` implementation is the
+//!   **oracle** the dense engine is differentially tested against.
+//! * [`disseminate_async_dense`] — the allocation-free rewrite over a CSR
+//!   [`DenseOverlay`] and a reusable [`DenseAsyncScratch`]: bitset notified
+//!   set, flat `f64` notification-time array, pre-sized binary event heap,
+//!   flat per-hop counters. Bit-identical [`AsyncReport`]s to
+//!   [`disseminate_async_frozen`] for the same overlay, selector and seed,
+//!   at a fraction of the cost — this is what makes the latency ablation
+//!   runnable at 100k+ nodes.
 //!
 //! The `ablation_async_latency` harness sweeps the forwarding delay from a
 //! small fraction of the gossip period to several periods and shows that
@@ -30,8 +45,8 @@ use serde::{Deserialize, Serialize};
 use hybridcast_graph::NodeId;
 use hybridcast_sim::Network;
 
-use crate::overlay::Overlay;
-use crate::protocols::GossipTargetSelector;
+use crate::overlay::{DenseBits, DenseOverlay, Overlay, NO_NODE};
+use crate::protocols::{DenseSelector, GossipTargetSelector};
 
 /// Configuration of an event-driven dissemination run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,6 +59,8 @@ pub struct AsyncConfig {
     pub jitter: f64,
     /// Whether membership gossip keeps running during the dissemination
     /// (`false` reproduces the frozen-overlay setting event-by-event).
+    /// Only [`disseminate_async`] reads this flag: the frozen and dense
+    /// engines run over an immutable overlay by construction.
     pub run_membership_gossip: bool,
     /// Hard cap on simulated time, as a safety net.
     pub max_time: f64,
@@ -99,6 +116,12 @@ pub struct AsyncReport {
     pub messages_redundant: usize,
     /// Messages sent to nodes that were dead at delivery time.
     pub messages_to_dead: usize,
+    /// Messages sent per hop: entry `h` counts the forwards of nodes first
+    /// notified at hop `h − 1` (the origin counts as hop 0, so entry 0 is
+    /// always 0). The entries sum to exactly
+    /// [`AsyncReport::total_messages`], mirroring the synchronous engine's
+    /// [`crate::metrics::DisseminationReport::per_hop_messages`] contract.
+    pub per_hop_messages: Vec<usize>,
     /// Simulated time at which the last node was notified, if the
     /// dissemination completed.
     pub completion_time: Option<f64>,
@@ -124,14 +147,22 @@ impl AsyncReport {
     pub fn is_complete(&self) -> bool {
         self.reached == self.population
     }
+
+    /// Total number of dissemination messages sent (the same quantity as
+    /// [`AsyncReport::messages_sent`], named to match
+    /// [`crate::metrics::DisseminationReport::total_messages`]).
+    pub fn total_messages(&self) -> usize {
+        self.messages_sent
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
 enum Event {
     /// A node's periodic membership gossip fires.
     GossipTick { node: NodeId },
-    /// A dissemination message from `from` arrives at `to`.
-    Deliver { to: NodeId, from: NodeId },
+    /// A dissemination message from `from` arrives at `to`; if `to` has not
+    /// seen the message yet, `hop` becomes its notification depth.
+    Deliver { to: NodeId, from: NodeId, hop: u32 },
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -213,6 +244,18 @@ fn momentary_view(network: &Network, node: NodeId) -> Option<MomentaryView> {
     })
 }
 
+/// The jitter rule every async engine shares: a multiplicative uniform
+/// perturbation of ±`jitter`, drawn as exactly one `f64` — or no draw at
+/// all when jitter or the base duration is zero. Keeping this in one place
+/// is what keeps the RNG streams of the three engines aligned.
+fn jittered(base: f64, rng: &mut ChaCha8Rng, jitter: f64) -> f64 {
+    if jitter == 0.0 || base == 0.0 {
+        base
+    } else {
+        base * (1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0))
+    }
+}
+
 /// Runs one event-driven dissemination of a message originating at `origin`
 /// over the live `network`.
 ///
@@ -246,13 +289,6 @@ pub fn disseminate_async(
             event,
         });
     };
-    let jittered = |base: f64, rng: &mut ChaCha8Rng, jitter: f64| -> f64 {
-        if jitter == 0.0 || base == 0.0 {
-            base
-        } else {
-            base * (1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0))
-        }
-    };
 
     // Desynchronised gossip timers, as in the paper ("nodes have
     // independent, non-synchronized timers").
@@ -270,6 +306,7 @@ pub fn disseminate_async(
         Event::Deliver {
             to: origin,
             from: origin,
+            hop: 0,
         },
     );
 
@@ -278,6 +315,7 @@ pub fn disseminate_async(
     let mut messages_sent = 0usize;
     let mut messages_redundant = 0usize;
     let mut messages_to_dead = 0usize;
+    let mut per_hop_messages = vec![0usize];
     let mut pending_deliveries = 1usize;
     let mut completion_time = None;
 
@@ -298,7 +336,7 @@ pub fn disseminate_async(
                     push(&mut queue, &mut seq, next, Event::GossipTick { node });
                 }
             }
-            Event::Deliver { to, from } => {
+            Event::Deliver { to, from, hop } => {
                 pending_deliveries -= 1;
                 if !network.is_live(to) {
                     messages_to_dead += 1;
@@ -317,6 +355,11 @@ pub fn disseminate_async(
                 };
                 let sender = if from == to { None } else { Some(from) };
                 let targets = selector.select_targets(&view, to, sender, rng);
+                let hop_idx = hop as usize + 1;
+                if per_hop_messages.len() <= hop_idx {
+                    per_hop_messages.resize(hop_idx + 1, 0);
+                }
+                per_hop_messages[hop_idx] += targets.len();
                 for target in targets {
                     messages_sent += 1;
                     pending_deliveries += 1;
@@ -328,6 +371,7 @@ pub fn disseminate_async(
                         Event::Deliver {
                             to: target,
                             from: to,
+                            hop: hop + 1,
                         },
                     );
                 }
@@ -341,6 +385,329 @@ pub fn disseminate_async(
         messages_sent,
         messages_redundant,
         messages_to_dead,
+        per_hop_messages,
+        completion_time,
+        notification_times,
+    }
+}
+
+/// Runs one event-driven dissemination over a **frozen** overlay: the
+/// latency model of [`disseminate_async`] without the live membership
+/// machinery.
+///
+/// For a snapshot taken from a live network, this produces the exact
+/// [`AsyncReport`] that [`disseminate_async`] produces with
+/// [`AsyncConfig::run_membership_gossip`]` = false` and the same RNG seed —
+/// event for event, draw for draw. It is the id-keyed oracle the dense
+/// engine ([`disseminate_async_dense`]) is differentially tested against.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `origin` is not a live node.
+pub fn disseminate_async_frozen(
+    overlay: &dyn Overlay,
+    selector: &dyn GossipTargetSelector,
+    origin: NodeId,
+    config: &AsyncConfig,
+    rng: &mut ChaCha8Rng,
+) -> AsyncReport {
+    config.validate().expect("invalid async configuration");
+    assert!(
+        overlay.is_live(origin),
+        "dissemination origin {origin} is not a live node"
+    );
+
+    let population = overlay.live_count();
+    let mut queue: BinaryHeap<TimedEvent> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |queue: &mut BinaryHeap<TimedEvent>, seq: &mut u64, time: f64, event: Event| {
+        *seq += 1;
+        queue.push(TimedEvent {
+            time,
+            seq: *seq,
+            event,
+        });
+    };
+    push(
+        &mut queue,
+        &mut seq,
+        0.0,
+        Event::Deliver {
+            to: origin,
+            from: origin,
+            hop: 0,
+        },
+    );
+
+    let mut notified: BTreeSet<NodeId> = BTreeSet::new();
+    let mut notification_times: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut messages_sent = 0usize;
+    let mut messages_redundant = 0usize;
+    let mut messages_to_dead = 0usize;
+    let mut per_hop_messages = vec![0usize];
+    let mut completion_time = None;
+
+    while let Some(TimedEvent { time, event, .. }) = queue.pop() {
+        if time > config.max_time {
+            break;
+        }
+        let Event::Deliver { to, from, hop } = event else {
+            unreachable!("frozen-overlay runs schedule no gossip ticks");
+        };
+        if !overlay.is_live(to) {
+            messages_to_dead += 1;
+            continue;
+        }
+        if !notified.insert(to) {
+            messages_redundant += 1;
+            continue;
+        }
+        notification_times.insert(to, time);
+        if notified.len() == population {
+            completion_time = Some(time);
+        }
+        let sender = if from == to { None } else { Some(from) };
+        let targets = selector.select_targets(overlay, to, sender, rng);
+        let hop_idx = hop as usize + 1;
+        if per_hop_messages.len() <= hop_idx {
+            per_hop_messages.resize(hop_idx + 1, 0);
+        }
+        per_hop_messages[hop_idx] += targets.len();
+        for target in targets {
+            messages_sent += 1;
+            let delay = jittered(config.forwarding_delay, rng, config.jitter);
+            push(
+                &mut queue,
+                &mut seq,
+                time + delay,
+                Event::Deliver {
+                    to: target,
+                    from: to,
+                    hop: hop + 1,
+                },
+            );
+        }
+    }
+
+    AsyncReport {
+        population,
+        reached: notified.len(),
+        messages_sent,
+        messages_redundant,
+        messages_to_dead,
+        per_hop_messages,
+        completion_time,
+        notification_times,
+    }
+}
+
+/// A timed delivery in the dense event queue: node identities are dense
+/// `u32` indices, the hop rides along for per-hop accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DenseEvent {
+    time: f64,
+    seq: u64,
+    to: u32,
+    from: u32,
+    hop: u32,
+}
+
+impl Eq for DenseEvent {}
+
+impl Ord for DenseEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Same reversed (earliest-first) order as the id-keyed engine's
+        // `TimedEvent`: pop by ascending time, ties by ascending sequence.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for DenseEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable scratch buffers for [`disseminate_async_dense`].
+///
+/// One complete run over a warm scratch performs no heap allocation in its
+/// event loop: the notified set is a bitset, notification times live in a
+/// flat `f64` array indexed by dense node index, the event queue is a
+/// `BinaryHeap` whose backing storage is retained across runs, and the
+/// per-hop message counters are a flat vector. Create one per worker thread
+/// and pass it to every run.
+#[derive(Debug, Clone, Default)]
+pub struct DenseAsyncScratch {
+    notified: DenseBits,
+    notify_time: Vec<f64>,
+    per_hop: Vec<usize>,
+    queue: BinaryHeap<DenseEvent>,
+    targets: Vec<u32>,
+    pool: Vec<u32>,
+}
+
+impl DenseAsyncScratch {
+    /// Creates an empty scratch; buffers grow to the overlay size on first
+    /// use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, len: usize) {
+        self.notified.reset(len);
+        self.notify_time.clear();
+        self.notify_time.resize(len, f64::NAN);
+        self.per_hop.clear();
+        self.per_hop.push(0);
+        self.queue.clear();
+        self.targets.clear();
+        self.pool.clear();
+    }
+}
+
+/// Runs one event-driven dissemination over a frozen [`DenseOverlay`]: the
+/// allocation-free rewrite of [`disseminate_async_frozen`].
+///
+/// The latency model, the accounting and the RNG draw sequence are
+/// identical to the frozen oracle's; given the same overlay (converted),
+/// selector, origin, configuration and seed, the returned [`AsyncReport`]
+/// is equal field for field — the contract the differential property tests
+/// pin down. The difference is purely mechanical: node identities are dense
+/// `u32` indices, link access is borrowed slices, and all per-run state
+/// lives in the caller-provided [`DenseAsyncScratch`].
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `origin` is not a live node.
+///
+/// # Example
+///
+/// ```
+/// use hybridcast_core::async_engine::{
+///     disseminate_async_dense, disseminate_async_frozen, AsyncConfig, DenseAsyncScratch,
+/// };
+/// use hybridcast_core::overlay::{DenseOverlay, StaticOverlay};
+/// use hybridcast_core::protocols::DenseSelector;
+/// use hybridcast_graph::{builders, NodeId};
+/// use rand::SeedableRng;
+///
+/// let ids: Vec<NodeId> = (0..32).map(NodeId::new).collect();
+/// let ring = builders::bidirectional_ring(&ids);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let random = builders::random_out_degree(&ids, 4, &mut rng);
+/// let sparse = StaticOverlay::from_graphs(&ring, &random);
+/// let dense = DenseOverlay::from(&sparse);
+/// let selector = DenseSelector::ringcast(3);
+/// let config = AsyncConfig { run_membership_gossip: false, ..AsyncConfig::default() };
+///
+/// let mut scratch = DenseAsyncScratch::new();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let fast = disseminate_async_dense(&dense, &selector, ids[0], &config, &mut rng, &mut scratch);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let slow = disseminate_async_frozen(&sparse, &selector, ids[0], &config, &mut rng);
+/// assert_eq!(fast, slow);
+/// assert!(fast.is_complete());
+/// ```
+pub fn disseminate_async_dense(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    config: &AsyncConfig,
+    rng: &mut ChaCha8Rng,
+    scratch: &mut DenseAsyncScratch,
+) -> AsyncReport {
+    config.validate().expect("invalid async configuration");
+    let origin_idx = overlay
+        .index_of(origin)
+        .filter(|&idx| overlay.is_live_idx(idx));
+    let Some(origin_idx) = origin_idx else {
+        panic!("dissemination origin {origin} is not a live node");
+    };
+
+    let population = overlay.live_len();
+    let len = overlay.len();
+    scratch.reset(len);
+    let DenseAsyncScratch {
+        notified,
+        notify_time,
+        per_hop,
+        queue,
+        targets,
+        pool,
+    } = scratch;
+
+    let mut seq = 0u64;
+    seq += 1;
+    queue.push(DenseEvent {
+        time: 0.0,
+        seq,
+        to: origin_idx,
+        from: NO_NODE,
+        hop: 0,
+    });
+
+    let mut reached = 0usize;
+    let mut messages_sent = 0usize;
+    let mut messages_redundant = 0usize;
+    let mut messages_to_dead = 0usize;
+    let mut completion_time = None;
+
+    while let Some(event) = queue.pop() {
+        if event.time > config.max_time {
+            break;
+        }
+        if !overlay.is_live_idx(event.to) {
+            messages_to_dead += 1;
+            continue;
+        }
+        if !notified.set(event.to) {
+            messages_redundant += 1;
+            continue;
+        }
+        notify_time[event.to as usize] = event.time;
+        reached += 1;
+        if reached == population {
+            completion_time = Some(event.time);
+        }
+        selector.select_dense(overlay, event.to, event.from, rng, targets, pool);
+        let hop_idx = event.hop as usize + 1;
+        if per_hop.len() <= hop_idx {
+            per_hop.resize(hop_idx + 1, 0);
+        }
+        per_hop[hop_idx] += targets.len();
+        for &target in targets.iter() {
+            messages_sent += 1;
+            let delay = jittered(config.forwarding_delay, rng, config.jitter);
+            seq += 1;
+            queue.push(DenseEvent {
+                time: event.time + delay,
+                seq,
+                to: target,
+                from: event.to,
+                hop: event.hop + 1,
+            });
+        }
+    }
+
+    // Convert back to the id-keyed report. This is the only part that
+    // allocates, and it is O(population) — independent of message count.
+    let mut notification_times: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for idx in 0..len as u32 {
+        if notified.get(idx) {
+            notification_times.insert(overlay.node_id(idx), notify_time[idx as usize]);
+        }
+    }
+
+    AsyncReport {
+        population,
+        reached,
+        messages_sent,
+        messages_redundant,
+        messages_to_dead,
+        per_hop_messages: per_hop.clone(),
         completion_time,
         notification_times,
     }
@@ -349,6 +716,7 @@ pub fn disseminate_async(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::overlay::SnapshotOverlay;
     use crate::protocols::{RandCast, RingCast};
     use hybridcast_sim::SimConfig;
     use rand::SeedableRng;
@@ -414,6 +782,23 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "not a live node")]
+    fn dense_dead_origin_panics() {
+        let network = warmed_network(50, 1);
+        let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let dense = DenseOverlay::from(&overlay);
+        let mut scratch = DenseAsyncScratch::new();
+        disseminate_async_dense(
+            &dense,
+            &DenseSelector::ringcast(2),
+            NodeId::new(u64::MAX),
+            &AsyncConfig::default(),
+            &mut rng(1),
+            &mut scratch,
+        );
+    }
+
+    #[test]
     fn ringcast_completes_asynchronously_with_live_gossip() {
         let mut network = warmed_network(250, 2);
         let origin = network.live_ids()[7];
@@ -432,6 +817,12 @@ mod tests {
         assert!(report.completion_time.is_some());
         assert_eq!(report.notification_times.len(), report.reached);
         assert_eq!(report.notification_times[&origin], 0.0);
+        assert_eq!(
+            report.per_hop_messages.iter().sum::<usize>(),
+            report.total_messages(),
+            "per-hop messages must account for every message sent"
+        );
+        assert_eq!(report.per_hop_messages[0], 0, "nobody sends at hop 0");
     }
 
     #[test]
@@ -512,6 +903,103 @@ mod tests {
         // a couple of extra messages at most).
         let bound = |r: &AsyncReport| (r.messages_sent as f64) / (r.reached as f64);
         assert!((bound(&frozen) - bound(&live)).abs() < 0.2);
+    }
+
+    #[test]
+    fn frozen_oracle_equals_live_engine_with_gossip_disabled() {
+        // The frozen-overlay oracle must reproduce the live engine with
+        // membership gossip off, event for event: the snapshot exports
+        // exactly the links the momentary views would hand out.
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            ..AsyncConfig::default()
+        };
+        for (seed, fanout) in [(21u64, 2usize), (22, 3), (23, 4)] {
+            let mut network = warmed_network(200, seed);
+            let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+            let origin = network.live_ids()[5];
+            let live = disseminate_async(
+                &mut network,
+                &RingCast::new(fanout),
+                origin,
+                &config,
+                &mut rng(seed ^ 0xF0),
+            );
+            let frozen = disseminate_async_frozen(
+                &overlay,
+                &RingCast::new(fanout),
+                origin,
+                &config,
+                &mut rng(seed ^ 0xF0),
+            );
+            assert_eq!(live, frozen, "seed {seed} fanout {fanout}");
+        }
+    }
+
+    #[test]
+    fn dense_engine_matches_frozen_oracle_on_warmed_overlay() {
+        let network = warmed_network(250, 12);
+        let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let dense = DenseOverlay::from(&overlay);
+        let origin = overlay.live_node_ids()[9];
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            ..AsyncConfig::default()
+        };
+        let mut scratch = DenseAsyncScratch::new();
+        for selector in [
+            DenseSelector::randcast(2),
+            DenseSelector::ringcast(3),
+            DenseSelector::Flooding,
+        ] {
+            let slow = disseminate_async_frozen(&overlay, &selector, origin, &config, &mut rng(77));
+            let fast = disseminate_async_dense(
+                &dense,
+                &selector,
+                origin,
+                &config,
+                &mut rng(77),
+                &mut scratch,
+            );
+            assert_eq!(slow, fast, "{} reports diverge", selector.name());
+            assert_eq!(
+                fast.per_hop_messages.iter().sum::<usize>(),
+                fast.total_messages()
+            );
+        }
+    }
+
+    #[test]
+    fn dense_async_scratch_is_reusable_across_runs_and_overlays() {
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            ..AsyncConfig::default()
+        };
+        let mut scratch = DenseAsyncScratch::new();
+        let big_net = warmed_network(150, 30);
+        let big = DenseOverlay::from_snapshot(&big_net.overlay_snapshot());
+        let origin = big.live_node_ids()[0];
+        let selector = DenseSelector::ringcast(3);
+        let first =
+            disseminate_async_dense(&big, &selector, origin, &config, &mut rng(1), &mut scratch);
+        // A smaller overlay afterwards: buffers shrink correctly.
+        let small_net = warmed_network(40, 31);
+        let small = DenseOverlay::from_snapshot(&small_net.overlay_snapshot());
+        let small_origin = small.live_node_ids()[3];
+        let report = disseminate_async_dense(
+            &small,
+            &selector,
+            small_origin,
+            &config,
+            &mut rng(2),
+            &mut scratch,
+        );
+        assert!(report.is_complete());
+        assert_eq!(report.population, 40);
+        // And the big overlay again, identical to the first run.
+        let again =
+            disseminate_async_dense(&big, &selector, origin, &config, &mut rng(1), &mut scratch);
+        assert_eq!(first, again);
     }
 
     #[test]

@@ -162,6 +162,13 @@ impl DenseScratch {
         Self::default()
     }
 
+    /// The notified-set bitset of the most recent run: live nodes that hold
+    /// the message. The pull engine seeds its holder set from this without
+    /// re-deriving it from the id-keyed report.
+    pub(crate) fn notified(&self) -> &DenseBits {
+        &self.notified
+    }
+
     fn reset(&mut self, len: usize) {
         self.notified.reset(len);
         self.received.clear();

@@ -14,10 +14,12 @@ use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::NodeId;
 
+use crate::async_engine::{disseminate_async_dense, AsyncConfig, AsyncReport, DenseAsyncScratch};
 use crate::engine::{disseminate, disseminate_dense, DenseScratch};
 use crate::metrics::DisseminationReport;
 use crate::overlay::{DenseOverlay, Overlay};
 use crate::protocols::{DenseSelector, GossipTargetSelector};
+use crate::pull::{disseminate_push_pull_dense, DensePullScratch, PullConfig, PushPullReport};
 
 /// Aggregate statistics over a set of disseminations with identical
 /// configuration (same overlay, protocol and fanout).
@@ -167,28 +169,107 @@ pub fn run_seeded_disseminations(
     let live = overlay.live_indices();
     assert!(!live.is_empty(), "overlay has no live nodes");
     let live = live.as_slice();
-
-    let one_run = move |run: usize, scratch: &mut DenseScratch| {
+    fan_out_seeded(runs, threads, DenseScratch::new, move |run, scratch| {
         let mut rng = ChaCha8Rng::seed_from_u64(run_seed(master_seed, run as u64));
         let origin = overlay.node_id(live[rng.gen_range(0..live.len())]);
         disseminate_dense(overlay, selector, origin, &mut rng, scratch)
-    };
+    })
+}
 
+/// Runs `runs` independent event-driven (latency-model) disseminations over
+/// a frozen dense overlay, fanned out across `threads` worker threads, and
+/// returns the [`AsyncReport`]s in run order.
+///
+/// Seeding and origin choice follow the same contract as
+/// [`run_seeded_disseminations`]: run `r` is a pure function of
+/// `(master_seed, r)`, so the result vector is bit-identical for every
+/// thread count. Each worker reuses one [`DenseAsyncScratch`].
+///
+/// # Panics
+///
+/// Panics if the overlay has no live nodes, the configuration is invalid,
+/// or a worker thread panics.
+pub fn run_seeded_async(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    config: &AsyncConfig,
+    runs: usize,
+    master_seed: u64,
+    threads: usize,
+) -> Vec<AsyncReport> {
+    let live = overlay.live_indices();
+    assert!(!live.is_empty(), "overlay has no live nodes");
+    let live = live.as_slice();
+    fan_out_seeded(
+        runs,
+        threads,
+        DenseAsyncScratch::new,
+        move |run, scratch| {
+            let mut rng = ChaCha8Rng::seed_from_u64(run_seed(master_seed, run as u64));
+            let origin = overlay.node_id(live[rng.gen_range(0..live.len())]);
+            disseminate_async_dense(overlay, selector, origin, config, &mut rng, scratch)
+        },
+    )
+}
+
+/// Runs `runs` independent push + pull-anti-entropy disseminations over a
+/// frozen dense overlay, fanned out across `threads` worker threads, and
+/// returns the [`PushPullReport`]s in run order.
+///
+/// Seeding and origin choice follow the same contract as
+/// [`run_seeded_disseminations`]: run `r` is a pure function of
+/// `(master_seed, r)`, so the result vector is bit-identical for every
+/// thread count. Each worker reuses one [`DensePullScratch`].
+///
+/// # Panics
+///
+/// Panics if the overlay has no live nodes, the configuration is invalid,
+/// or a worker thread panics.
+pub fn run_seeded_push_pulls(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    config: PullConfig,
+    runs: usize,
+    master_seed: u64,
+    threads: usize,
+) -> Vec<PushPullReport> {
+    let live = overlay.live_indices();
+    assert!(!live.is_empty(), "overlay has no live nodes");
+    let live = live.as_slice();
+    fan_out_seeded(runs, threads, DensePullScratch::new, move |run, scratch| {
+        let mut rng = ChaCha8Rng::seed_from_u64(run_seed(master_seed, run as u64));
+        let origin = overlay.node_id(live[rng.gen_range(0..live.len())]);
+        disseminate_push_pull_dense(overlay, selector, origin, config, &mut rng, scratch)
+    })
+}
+
+/// The shared thread fan-out of every seeded driver: splits `runs` into
+/// contiguous chunks, gives each worker its own scratch (built by
+/// `make_scratch`), and concatenates the per-worker results back in run
+/// order. Because each run draws from a private seeded RNG, the output is
+/// the same for every thread count.
+fn fan_out_seeded<T, S, M, F>(runs: usize, threads: usize, make_scratch: M, one_run: F) -> Vec<T>
+where
+    T: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
     let threads = threads.max(1).min(runs.max(1));
     if threads == 1 {
-        let mut scratch = DenseScratch::new();
+        let mut scratch = make_scratch();
         return (0..runs).map(|run| one_run(run, &mut scratch)).collect();
     }
 
     let chunk = runs.div_ceil(threads);
     let one_run = &one_run;
+    let make_scratch = &make_scratch;
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|worker| {
                 let lo = worker * chunk;
                 let hi = runs.min(lo + chunk);
                 scope.spawn(move || {
-                    let mut scratch = DenseScratch::new();
+                    let mut scratch = make_scratch();
                     (lo..hi)
                         .map(|run| one_run(run, &mut scratch))
                         .collect::<Vec<_>>()
@@ -344,6 +425,43 @@ mod tests {
         assert_eq!(short.as_slice(), &long[..4]);
         let other = run_seeded_disseminations(&dense, &selector, 4, 8, 2);
         assert_ne!(short, other);
+    }
+
+    #[test]
+    fn seeded_async_runs_are_thread_count_invariant() {
+        let overlay = warmed_overlay(150, 20);
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let selector = DenseSelector::ringcast(3);
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            ..AsyncConfig::default()
+        };
+        let sequential = run_seeded_async(&dense, &selector, &config, 9, 33, 1);
+        for threads in [2, 4, 16] {
+            let parallel = run_seeded_async(&dense, &selector, &config, 9, 33, threads);
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+        assert!(sequential.iter().all(AsyncReport::is_complete));
+    }
+
+    #[test]
+    fn seeded_push_pull_runs_are_thread_count_invariant() {
+        let overlay = warmed_overlay(150, 21);
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let selector = DenseSelector::randcast(2);
+        let config = PullConfig {
+            fanout: 1,
+            max_rounds: 30,
+        };
+        let sequential = run_seeded_push_pulls(&dense, &selector, config, 9, 34, 1);
+        for threads in [2, 4, 16] {
+            let parallel = run_seeded_push_pulls(&dense, &selector, config, 9, 34, threads);
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+        // Pull rounds only ever improve on the push phase.
+        for report in &sequential {
+            assert!(report.reached_after_pull >= report.push.reached);
+        }
     }
 
     #[test]

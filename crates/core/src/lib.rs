@@ -30,10 +30,27 @@
 //! * [`pubsub`] — the topic-based publish/subscribe construction sketched
 //!   in the paper's conclusions.
 //! * [`pull`] — the pull-based anti-entropy extension the paper leaves as
-//!   future work: a push phase followed by periodic pull rounds.
-//! * [`async_engine`] — an event-driven engine with live membership gossip
-//!   and configurable forwarding delays, used to validate the Section 7.1
-//!   claim that the frozen-overlay simplification is harmless.
+//!   future work: a push phase followed by periodic pull rounds, as the
+//!   id-keyed oracle [`pull::disseminate_push_pull`] and the
+//!   allocation-free [`pull::disseminate_push_pull_dense`].
+//! * [`async_engine`] — the event-driven latency-model engines with
+//!   configurable forwarding delays, used to validate the Section 7.1
+//!   claim that the frozen-overlay simplification is harmless:
+//!   [`async_engine::disseminate_async`] (live membership gossip),
+//!   [`async_engine::disseminate_async_frozen`] (frozen oracle) and the
+//!   allocation-free [`async_engine::disseminate_async_dense`].
+//!
+//! Every dissemination mode thus ships as a matched pair — a readable
+//! id-keyed BTree engine that serves as the oracle, and a dense CSR
+//! engine over reusable scratch that produces bit-identical reports per
+//! seed (pinned by differential property tests) at a fraction of the
+//! cost:
+//!
+//! | mode | BTree oracle | dense hot path |
+//! |---|---|---|
+//! | hop-synchronous push | [`engine::disseminate`] | [`engine::disseminate_dense`] |
+//! | async latency model | [`async_engine::disseminate_async_frozen`] | [`async_engine::disseminate_async_dense`] |
+//! | push + pull anti-entropy | [`pull::disseminate_push_pull`] | [`pull::disseminate_push_pull_dense`] |
 //!
 //! # Example: RingCast beats RandCast at equal fanout
 //!
@@ -69,8 +86,19 @@ pub mod protocols;
 pub mod pubsub;
 pub mod pull;
 
+pub use async_engine::{
+    disseminate_async, disseminate_async_dense, disseminate_async_frozen, AsyncConfig, AsyncReport,
+    DenseAsyncScratch,
+};
 pub use engine::{disseminate, disseminate_dense, DenseScratch};
-pub use experiment::{run_parallel_experiment, run_seed, run_seeded_disseminations};
+pub use experiment::{
+    run_parallel_experiment, run_seed, run_seeded_async, run_seeded_disseminations,
+    run_seeded_push_pulls,
+};
 pub use metrics::DisseminationReport;
 pub use overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
 pub use protocols::{DenseSelector, Flooding, GossipTargetSelector, RandCast, RingCast};
+pub use pull::{
+    disseminate_push_pull, disseminate_push_pull_dense, DensePullScratch, PullConfig,
+    PushPullReport,
+};

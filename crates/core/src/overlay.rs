@@ -249,6 +249,13 @@ impl DenseBits {
     pub(crate) fn clear(&mut self, bit: u32) {
         self.words[bit as usize / 64] &= !(1 << (bit as usize % 64));
     }
+
+    /// Makes this bitset an exact copy of `other`, reusing the existing
+    /// word storage (no allocation once grown).
+    pub(crate) fn copy_from(&mut self, other: &DenseBits) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
 }
 
 /// A frozen overlay in compressed-sparse-row (CSR) layout: nodes are dense

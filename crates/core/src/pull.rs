@@ -12,6 +12,18 @@
 //! fanouts, or after failures) at the cost of extra rounds — i.e. extra
 //! latency, since pulls are periodic rather than reactive — and extra
 //! polling traffic.
+//!
+//! Two implementations share the model:
+//!
+//! * [`disseminate_push_pull`] — the id-keyed `BTreeSet` engine over any
+//!   [`Overlay`], the oracle; and
+//! * [`disseminate_push_pull_dense`] — the allocation-free rewrite over a
+//!   CSR [`DenseOverlay`] and a reusable [`DensePullScratch`]: the push
+//!   phase runs on [`crate::engine::disseminate_dense`], the holder set is
+//!   a bitset seeded straight from the push scratch, and each pull round
+//!   polls over borrowed index slices. Bit-identical [`PushPullReport`]s to
+//!   the oracle for the same overlay, selector, origin and seed, pinned by
+//!   differential property tests.
 
 use std::collections::BTreeSet;
 
@@ -21,10 +33,10 @@ use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::NodeId;
 
-use crate::engine::disseminate;
+use crate::engine::{disseminate, disseminate_dense, DenseScratch};
 use crate::metrics::DisseminationReport;
-use crate::overlay::Overlay;
-use crate::protocols::GossipTargetSelector;
+use crate::overlay::{DenseBits, DenseOverlay, Overlay};
+use crate::protocols::{DenseSelector, GossipTargetSelector};
 
 /// Configuration of the pull phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -162,10 +174,15 @@ pub fn disseminate_push_pull(
             }
         }
         per_round_new.push(obtained_this_round.len());
-        if obtained_this_round.is_empty() && per_round_new.iter().rev().take(3).all(|&n| n == 0) {
-            // Three consecutive dry rounds: the remaining nodes have no live
-            // links into the holder set (isolated by failures); polling
-            // further cannot help.
+        if obtained_this_round.is_empty()
+            && per_round_new.len() >= 3
+            && per_round_new.iter().rev().take(3).all(|&n| n == 0)
+        {
+            // Three consecutive dry rounds: the remaining nodes almost
+            // certainly have no live links into the holder set (isolated by
+            // failures); polling further cannot help. Fewer than three
+            // recorded rounds never trigger the cutoff — a single unlucky
+            // all-miss round must not end the phase.
             break;
         }
         holders.extend(obtained_this_round);
@@ -184,6 +201,156 @@ pub fn disseminate_push_pull(
         pull_transfers,
         per_round_new,
         reached_after_pull: holders.len(),
+        unreached_after_pull,
+    }
+}
+
+/// Reusable scratch buffers for [`disseminate_push_pull_dense`].
+///
+/// Holds the push engine's [`DenseScratch`] plus the pull phase's own
+/// state: a holder bitset, a poll-candidate buffer and the list of nodes
+/// that obtained the message in the current round. A warm scratch makes the
+/// whole push + pull run allocation-free except for the final id-keyed
+/// report conversion. Create one per worker thread and pass it to every
+/// run.
+#[derive(Debug, Clone, Default)]
+pub struct DensePullScratch {
+    push: DenseScratch,
+    holders: DenseBits,
+    neighbours: Vec<u32>,
+    obtained: Vec<u32>,
+}
+
+impl DensePullScratch {
+    /// Creates an empty scratch; buffers grow to the overlay size on first
+    /// use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs a push dissemination followed by pull-based anti-entropy rounds
+/// over a [`DenseOverlay`]: the allocation-free rewrite of
+/// [`disseminate_push_pull`].
+///
+/// The round model, the accounting and the RNG draw sequence are identical
+/// to the generic engine's — the push phase delegates to
+/// [`crate::engine::disseminate_dense`] and each pull round shuffles the
+/// same filtered candidate pools — so for the same overlay (converted),
+/// selector, origin, configuration and seed the returned [`PushPullReport`]
+/// is equal field for field.
+///
+/// # Panics
+///
+/// Panics if `origin` is not live or the pull configuration is invalid.
+///
+/// # Example
+///
+/// ```
+/// use hybridcast_core::pull::{
+///     disseminate_push_pull, disseminate_push_pull_dense, DensePullScratch, PullConfig,
+/// };
+/// use hybridcast_core::overlay::{DenseOverlay, StaticOverlay};
+/// use hybridcast_core::protocols::DenseSelector;
+/// use hybridcast_graph::{builders, NodeId};
+/// use rand::SeedableRng;
+///
+/// let ids: Vec<NodeId> = (0..48).map(NodeId::new).collect();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let random = builders::random_out_degree(&ids, 5, &mut rng);
+/// let sparse = StaticOverlay::random(&random);
+/// let dense = DenseOverlay::from(&sparse);
+/// let selector = DenseSelector::randcast(2);
+/// let config = PullConfig { fanout: 2, max_rounds: 30 };
+///
+/// let mut scratch = DensePullScratch::new();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+/// let fast = disseminate_push_pull_dense(&dense, &selector, ids[0], config, &mut rng, &mut scratch);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+/// let slow = disseminate_push_pull(&sparse, &selector, ids[0], config, &mut rng);
+/// assert_eq!(fast, slow);
+/// ```
+pub fn disseminate_push_pull_dense(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    config: PullConfig,
+    rng: &mut dyn RngCore,
+    scratch: &mut DensePullScratch,
+) -> PushPullReport {
+    config.validate().expect("invalid pull configuration");
+    let push = disseminate_dense(overlay, selector, origin, rng, &mut scratch.push);
+
+    let len = overlay.len();
+    let DensePullScratch {
+        push: push_scratch,
+        holders,
+        neighbours,
+        obtained,
+    } = scratch;
+    // Only live nodes are ever notified, so the push engine's notified
+    // bitset *is* the initial holder set.
+    holders.copy_from(push_scratch.notified());
+    let mut holder_count = push.reached;
+    let live_count = overlay.live_len();
+
+    let mut pull_rounds = 0usize;
+    let mut pull_requests = 0usize;
+    let mut pull_transfers = 0usize;
+    let mut per_round_new = Vec::new();
+
+    while holder_count < live_count && pull_rounds < config.max_rounds {
+        pull_rounds += 1;
+        obtained.clear();
+        for node in 0..len as u32 {
+            if !overlay.is_live_idx(node) || holders.get(node) {
+                continue;
+            }
+            neighbours.clear();
+            neighbours.extend(
+                overlay
+                    .r_links_of(node)
+                    .iter()
+                    .copied()
+                    .filter(|&peer| peer != node && overlay.is_live_idx(peer)),
+            );
+            neighbours.shuffle(rng);
+            neighbours.truncate(config.fanout);
+            pull_requests += neighbours.len();
+            if neighbours.iter().any(|&peer| holders.get(peer)) {
+                pull_transfers += 1;
+                obtained.push(node);
+            }
+        }
+        per_round_new.push(obtained.len());
+        if obtained.is_empty()
+            && per_round_new.len() >= 3
+            && per_round_new.iter().rev().take(3).all(|&n| n == 0)
+        {
+            // Same cutoff as the generic engine: three consecutive dry
+            // rounds, never fewer than three recorded rounds.
+            break;
+        }
+        for &node in obtained.iter() {
+            holders.set(node);
+            holder_count += 1;
+        }
+    }
+
+    // Convert back to the id-keyed report; dense indices ascend by id, so
+    // the unreached list is ordered exactly like the generic engine's.
+    let unreached_after_pull: Vec<NodeId> = (0..len as u32)
+        .filter(|&idx| overlay.is_live_idx(idx) && !holders.get(idx))
+        .map(|idx| overlay.node_id(idx))
+        .collect();
+
+    PushPullReport {
+        push,
+        pull_rounds,
+        pull_requests,
+        pull_transfers,
+        per_round_new,
+        reached_after_pull: holder_count,
         unreached_after_pull,
     }
 }
@@ -344,11 +511,111 @@ mod tests {
             &mut rng,
         );
         assert_eq!(report.unreached_after_pull.len(), 2);
-        assert!(
-            report.pull_rounds <= 5,
-            "dry-round cutoff should stop early, ran {} rounds",
-            report.pull_rounds
+        assert_eq!(
+            report.pull_rounds, 3,
+            "the cutoff fires after exactly three dry rounds — never after a \
+             single unlucky round, and never later when nothing can change"
         );
+    }
+
+    #[test]
+    fn dense_pull_matches_generic_engine() {
+        let overlay = warmed_overlay(300, 11);
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let origin = overlay.snapshot().live_nodes().next().unwrap();
+        let mut scratch = DensePullScratch::new();
+        for (seed, selector) in [
+            (20u64, DenseSelector::randcast(2)),
+            (21, DenseSelector::ringcast(1)),
+            (22, DenseSelector::randcast(1)),
+        ] {
+            let config = PullConfig {
+                fanout: 1,
+                max_rounds: 40,
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let slow = disseminate_push_pull(&overlay, &selector, origin, config, &mut rng);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let fast = disseminate_push_pull_dense(
+                &dense,
+                &selector,
+                origin,
+                config,
+                &mut rng,
+                &mut scratch,
+            );
+            assert_eq!(slow, fast, "{} diverged at seed {seed}", selector.name());
+        }
+    }
+
+    #[test]
+    fn dense_pull_matches_generic_engine_after_failures() {
+        let mut overlay = warmed_overlay(300, 12);
+        let mut failure_rng = ChaCha8Rng::seed_from_u64(13);
+        hybridcast_sim::failure::kill_fraction_in_snapshot(
+            overlay.snapshot_mut(),
+            0.10,
+            &mut failure_rng,
+        );
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let origin = overlay.snapshot().live_nodes().next().unwrap();
+        let selector = DenseSelector::randcast(3);
+        let config = PullConfig {
+            fanout: 2,
+            max_rounds: 30,
+        };
+        let mut scratch = DensePullScratch::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let slow = disseminate_push_pull(&overlay, &selector, origin, config, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let fast =
+            disseminate_push_pull_dense(&dense, &selector, origin, config, &mut rng, &mut scratch);
+        assert_eq!(slow, fast);
+        assert!(fast.push.messages_to_dead > 0, "stale links hit dead nodes");
+    }
+
+    #[test]
+    fn dense_pull_scratch_is_reusable_across_runs_and_overlays() {
+        let big = warmed_overlay(200, 15);
+        let big_dense = crate::overlay::DenseOverlay::from(&big);
+        let origin = big.snapshot().live_nodes().next().unwrap();
+        let selector = DenseSelector::randcast(2);
+        let config = PullConfig {
+            fanout: 1,
+            max_rounds: 30,
+        };
+        let mut scratch = DensePullScratch::new();
+        let first = disseminate_push_pull_dense(
+            &big_dense,
+            &selector,
+            origin,
+            config,
+            &mut ChaCha8Rng::seed_from_u64(16),
+            &mut scratch,
+        );
+        // A smaller overlay afterwards: buffers shrink correctly.
+        let small = warmed_overlay(60, 17);
+        let small_dense = crate::overlay::DenseOverlay::from(&small);
+        let small_origin = small.snapshot().live_nodes().next().unwrap();
+        let report = disseminate_push_pull_dense(
+            &small_dense,
+            &selector,
+            small_origin,
+            config,
+            &mut ChaCha8Rng::seed_from_u64(18),
+            &mut scratch,
+        );
+        assert_eq!(report.push.population, 60);
+        // And the big overlay again, identical to the first run.
+        let again = disseminate_push_pull_dense(
+            &big_dense,
+            &selector,
+            origin,
+            config,
+            &mut ChaCha8Rng::seed_from_u64(16),
+            &mut scratch,
+        );
+        assert_eq!(first, again);
     }
 
     #[test]

@@ -4,13 +4,21 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use hybridcast_core::async_engine::{
+    disseminate_async_dense, disseminate_async_frozen, AsyncConfig, DenseAsyncScratch,
+};
 use hybridcast_core::engine::{disseminate, disseminate_dense, DenseScratch};
-use hybridcast_core::experiment::run_seeded_disseminations;
-use hybridcast_core::overlay::{DenseOverlay, Overlay, StaticOverlay};
+use hybridcast_core::experiment::{run_seeded_async, run_seeded_disseminations};
+use hybridcast_core::overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
 use hybridcast_core::protocols::{
     DenseSelector, DeterministicFlooding, Flooding, GossipTargetSelector, RandCast, RingCast,
 };
+use hybridcast_core::pull::{
+    disseminate_push_pull, disseminate_push_pull_dense, DensePullScratch, PullConfig,
+};
 use hybridcast_graph::{builders, connectivity, harary, NodeId};
+use hybridcast_sim::churn::{ChurnConfig, ChurnDriver};
+use hybridcast_sim::{Network, SimConfig};
 
 fn ids(count: u64) -> Vec<NodeId> {
     (0..count).map(NodeId::new).collect()
@@ -24,6 +32,52 @@ fn hybrid_overlay(n: u64, degree: usize, seed: u64) -> StaticOverlay {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let random = builders::random_out_degree(&nodes, degree, &mut rng);
     StaticOverlay::from_graphs(&ring, &random)
+}
+
+/// Grows a small overlay under continuous churn and freezes it, then kills
+/// `kill` further nodes in the frozen snapshot: the shape of the paper's
+/// hardest scenario, used to exercise the dense/BTree differentials on
+/// overlays with stale links, replaced ids and dead targets.
+fn churned_overlay(n: usize, churn_cycles: usize, kill: usize, seed: u64) -> SnapshotOverlay {
+    let mut network = Network::new(
+        SimConfig {
+            nodes: n,
+            warmup_cycles: 30,
+            ..SimConfig::default()
+        },
+        seed,
+    );
+    network.run_cycles(30);
+    let mut driver = ChurnDriver::new(ChurnConfig { rate: 0.05 });
+    driver.run_cycles(&mut network, churn_cycles);
+    let mut overlay = SnapshotOverlay::new(network.overlay_snapshot());
+    let victims: Vec<NodeId> = overlay.live_node_ids();
+    for victim in victims.iter().take(kill) {
+        overlay.snapshot_mut().remove_node(*victim);
+    }
+    overlay
+}
+
+/// The protocol pairs every differential sweeps.
+fn selector_pair(
+    protocol_idx: usize,
+    fanout: usize,
+) -> (Box<dyn GossipTargetSelector>, DenseSelector) {
+    match protocol_idx {
+        0 => (
+            Box::new(RandCast::new(fanout)),
+            DenseSelector::randcast(fanout),
+        ),
+        1 => (
+            Box::new(RingCast::new(fanout)),
+            DenseSelector::ringcast(fanout),
+        ),
+        2 => (Box::new(Flooding::new()), DenseSelector::Flooding),
+        _ => (
+            Box::new(DeterministicFlooding::new()),
+            DenseSelector::DeterministicFlooding,
+        ),
+    }
 }
 
 proptest! {
@@ -271,6 +325,225 @@ proptest! {
         let sequential = run_seeded_disseminations(&dense, &selector, runs, master_seed, 1);
         let parallel = run_seeded_disseminations(&dense, &selector, runs, master_seed, threads);
         prop_assert_eq!(sequential, parallel);
+    }
+
+    /// Differential: the dense event-driven (latency-model) engine and the
+    /// frozen BTree oracle produce field-for-field identical [`AsyncReport`]s
+    /// for the same overlay, selector, configuration and seed — across every
+    /// protocol, with and without dead nodes.
+    #[test]
+    fn dense_async_engine_is_report_identical_to_frozen_oracle(
+        n in 3u64..80,
+        fanout in 1usize..5,
+        degree in 1usize..8,
+        kill in 0usize..4,
+        seed in 0u64..100,
+        protocol_idx in 0usize..4,
+        delay_tenths in 0usize..40,
+    ) {
+        let mut overlay = hybrid_overlay(n, degree, seed);
+        for k in 0..kill.min(n as usize - 1) {
+            overlay.kill_node(NodeId::new((seed + 3 * k as u64 + 1) % n));
+        }
+        let origin = NodeId::new(seed % n);
+        prop_assume!(overlay.is_live(origin));
+
+        let (generic, dense_sel) = selector_pair(protocol_idx, fanout);
+        let dense = DenseOverlay::from(&overlay);
+        let mut scratch = DenseAsyncScratch::new();
+        let config = AsyncConfig {
+            forwarding_delay: delay_tenths as f64 / 10.0,
+            run_membership_gossip: false,
+            ..AsyncConfig::default()
+        };
+        let rng_seed = seed.wrapping_add(11);
+        let slow = disseminate_async_frozen(
+            &overlay,
+            generic.as_ref(),
+            origin,
+            &config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+        );
+        let fast = disseminate_async_dense(
+            &dense,
+            &dense_sel,
+            origin,
+            &config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+            &mut scratch,
+        );
+        prop_assert_eq!(&slow, &fast, "{} diverged", generic.name());
+        // The async per-hop message series accounts for every message sent.
+        prop_assert_eq!(
+            fast.per_hop_messages.iter().sum::<usize>(),
+            fast.total_messages()
+        );
+        prop_assert_eq!(fast.per_hop_messages[0], 0);
+        prop_assert_eq!(fast.notification_times.len(), fast.reached);
+    }
+
+    /// Differential: dense vs BTree async reports on *churned* overlays —
+    /// grown under continuous churn, frozen, then hit by extra failures, so
+    /// the link structure contains stale ids and dead targets.
+    #[test]
+    fn dense_async_engine_matches_oracle_on_churned_overlays(
+        n in 20usize..60,
+        churn_cycles in 5usize..25,
+        kill in 0usize..5,
+        fanout in 1usize..4,
+        seed in 0u64..50,
+    ) {
+        let overlay = churned_overlay(n, churn_cycles, kill, seed);
+        let origin = overlay.live_node_ids()[0];
+        let dense = DenseOverlay::from(&overlay);
+        let mut scratch = DenseAsyncScratch::new();
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            ..AsyncConfig::default()
+        };
+        for (idx, selector) in [
+            DenseSelector::ringcast(fanout),
+            DenseSelector::randcast(fanout),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let rng_seed = seed.wrapping_add(idx as u64).wrapping_mul(97);
+            let slow = disseminate_async_frozen(
+                &overlay,
+                &selector,
+                origin,
+                &config,
+                &mut ChaCha8Rng::seed_from_u64(rng_seed),
+            );
+            let fast = disseminate_async_dense(
+                &dense,
+                &selector,
+                origin,
+                &config,
+                &mut ChaCha8Rng::seed_from_u64(rng_seed),
+                &mut scratch,
+            );
+            prop_assert_eq!(&slow, &fast, "{} diverged after churn", selector.name());
+            prop_assert_eq!(
+                fast.per_hop_messages.iter().sum::<usize>(),
+                fast.total_messages()
+            );
+        }
+    }
+
+    /// The seeded async driver returns the same reports, in the same order,
+    /// regardless of how many worker threads split the runs.
+    #[test]
+    fn parallel_async_driver_matches_single_threaded_run_for_run(
+        n in 20u64..60,
+        fanout in 1usize..4,
+        master_seed in 0u64..1000,
+        threads in 2usize..6,
+        runs in 1usize..8,
+    ) {
+        let overlay = hybrid_overlay(n, 6, master_seed);
+        let dense = DenseOverlay::from(&overlay);
+        let selector = DenseSelector::ringcast(fanout);
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            ..AsyncConfig::default()
+        };
+        let sequential = run_seeded_async(&dense, &selector, &config, runs, master_seed, 1);
+        let parallel = run_seeded_async(&dense, &selector, &config, runs, master_seed, threads);
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    /// Differential: the dense push + pull-anti-entropy engine and the
+    /// generic BTree engine produce field-for-field identical
+    /// [`PushPullReport`]s for the same overlay, selector, configuration and
+    /// seed, with and without dead nodes.
+    #[test]
+    fn dense_pull_engine_is_report_identical_to_generic_engine(
+        n in 3u64..80,
+        fanout in 1usize..5,
+        pull_fanout in 1usize..4,
+        degree in 1usize..8,
+        kill in 0usize..4,
+        seed in 0u64..100,
+        protocol_idx in 0usize..2,
+    ) {
+        let mut overlay = hybrid_overlay(n, degree, seed);
+        for k in 0..kill.min(n as usize - 1) {
+            overlay.kill_node(NodeId::new((seed + 3 * k as u64 + 1) % n));
+        }
+        let origin = NodeId::new(seed % n);
+        prop_assume!(overlay.is_live(origin));
+
+        let (generic, dense_sel) = selector_pair(protocol_idx, fanout);
+        let dense = DenseOverlay::from(&overlay);
+        let mut scratch = DensePullScratch::new();
+        let config = PullConfig {
+            fanout: pull_fanout,
+            max_rounds: 25,
+        };
+        let rng_seed = seed.wrapping_add(13);
+        let slow = disseminate_push_pull(
+            &overlay,
+            generic.as_ref(),
+            origin,
+            config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+        );
+        let fast = disseminate_push_pull_dense(
+            &dense,
+            &dense_sel,
+            origin,
+            config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+            &mut scratch,
+        );
+        prop_assert_eq!(&slow, &fast, "{} diverged", generic.name());
+        prop_assert_eq!(
+            fast.reached_after_pull + fast.unreached_after_pull.len(),
+            fast.push.population
+        );
+        prop_assert_eq!(fast.per_round_new.len(), fast.pull_rounds);
+        prop_assert!(fast.pull_transfers <= fast.pull_requests);
+    }
+
+    /// Differential: dense vs BTree push-pull reports on churned overlays
+    /// with extra post-freeze failures.
+    #[test]
+    fn dense_pull_engine_matches_generic_on_churned_overlays(
+        n in 20usize..60,
+        churn_cycles in 5usize..25,
+        kill in 0usize..5,
+        fanout in 1usize..4,
+        seed in 0u64..50,
+    ) {
+        let overlay = churned_overlay(n, churn_cycles, kill, seed);
+        let origin = overlay.live_node_ids()[0];
+        let dense = DenseOverlay::from(&overlay);
+        let mut scratch = DensePullScratch::new();
+        let config = PullConfig {
+            fanout: 1,
+            max_rounds: 30,
+        };
+        let selector = DenseSelector::randcast(fanout);
+        let rng_seed = seed.wrapping_add(17);
+        let slow = disseminate_push_pull(
+            &overlay,
+            &selector,
+            origin,
+            config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+        );
+        let fast = disseminate_push_pull_dense(
+            &dense,
+            &selector,
+            origin,
+            config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+            &mut scratch,
+        );
+        prop_assert_eq!(&slow, &fast, "push-pull diverged after churn");
+        prop_assert!(fast.hit_ratio() >= fast.push.hit_ratio());
     }
 
     /// Flooding over a Harary graph H(n, t) still reaches everyone after

@@ -1,5 +1,5 @@
 //! The generic peer-sampling framework of Jelasity et al. (Middleware 2004),
-//! which the paper cites as reference [10] for the PEER SAMPLING SERVICE.
+//! which the paper cites as reference \[10\] for the PEER SAMPLING SERVICE.
 //!
 //! The framework describes a whole design space of gossip-based peer
 //! sampling protocols through three policy dimensions:

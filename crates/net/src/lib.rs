@@ -16,6 +16,36 @@
 //! * [`cluster`] — convenience orchestration: boot `n` nodes, let the
 //!   overlay converge, publish messages, inspect who received what.
 //!
+//! # Where this crate sits
+//!
+//! The membership exchange halves and the `GossipTargetSelector` policies
+//! are *shared* with the simulator: a node here assembles the same
+//! momentary view (Cyclon view → r-links, ring neighbours → d-links) that
+//! `hybridcast_sim::Network::overlay_snapshot` freezes, and pushes fresh
+//! messages to the targets the selector picks — i.e. this runtime is the
+//! asynchronous, wall-clock instantiation of the event-driven latency
+//! model that `hybridcast_core::async_engine` simulates with virtual
+//! timestamps. Anything added to the protocols (new proximity functions,
+//! multi-ring d-links, new selectors) is automatically available here.
+//!
+//! # Determinism boundary
+//!
+//! This is deliberately the **only** nondeterministic layer of the
+//! workspace: thread scheduling and (for TCP) the kernel decide delivery
+//! order, so its tests assert convergence envelopes (e.g. "≥ 14 of 16
+//! nodes delivered") rather than exact traces. Every quantitative claim
+//! lives in the deterministic simulator + engine layers; this crate exists
+//! to show the protocol code is not simulator-bound. Per-node state still
+//! uses the same seeded `ChaCha8Rng`, so single-node protocol decisions
+//! remain reproducible given an identical inbound frame sequence.
+//!
+//! # Scale expectations
+//!
+//! One OS thread per node bounds practical cluster sizes to the hundreds —
+//! this is a demonstrator, not the million-node path (that is the arena
+//! runtime + dense engines; see `docs/ARCHITECTURE.md`). A dense,
+//! shared-arena transport runtime is an open ROADMAP item.
+//!
 //! # Example
 //!
 //! ```

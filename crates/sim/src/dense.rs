@@ -13,7 +13,8 @@
 //!   id-sorted live-slot index (`by_id`) replaces `BTreeMap` iteration,
 //! * an epoch step ([`DenseSimNetwork::run_cycles`]) batches all Cyclon
 //!   shuffles and Vicinity exchanges of a cycle through one reusable
-//!   [`EpochScratch`], so a warm cycle performs no heap allocation.
+//!   `EpochScratch` (private scratch), so a warm cycle performs no heap
+//!   allocation.
 //!
 //! # Determinism contract
 //!

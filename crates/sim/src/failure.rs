@@ -6,7 +6,7 @@
 //! pointing to a killed node stays in place as a dead link. Two entry points
 //! are provided:
 //!
-//! * [`kill_fraction_in_network`] removes nodes from a live [`Network`]
+//! * [`kill_fraction_in_network`] removes nodes from a live [`crate::Network`]
 //!   (use when you want to study subsequent healing),
 //! * [`kill_fraction_in_snapshot`] removes nodes from a frozen
 //!   [`OverlaySnapshot`] (the paper's setup: freeze first, then fail).
