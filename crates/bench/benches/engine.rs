@@ -83,6 +83,7 @@ fn bench_async_engines(c: &mut Criterion) {
         jitter: 0.1,
         run_membership_gossip: false,
         max_time: 1_000_000.0,
+        ..AsyncConfig::default()
     };
     let protocols = [
         ("randcast_f5", DenseSelector::randcast(5)),
@@ -116,18 +117,19 @@ fn bench_pull_engines(c: &mut Criterion) {
     let config = PullConfig {
         fanout: 1,
         max_rounds: 50,
+        ..PullConfig::default()
     };
 
     let mut group = c.benchmark_group(format!("pull_engine/n{nodes}"));
     group.bench_function("btree/randcast_f2", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        b.iter(|| disseminate_push_pull(&overlay, &selector, origin, config, &mut rng))
+        b.iter(|| disseminate_push_pull(&overlay, &selector, origin, &config, &mut rng))
     });
     group.bench_function("dense/randcast_f2", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let mut scratch = DensePullScratch::new();
         b.iter(|| {
-            disseminate_push_pull_dense(&dense, &selector, origin, config, &mut rng, &mut scratch)
+            disseminate_push_pull_dense(&dense, &selector, origin, &config, &mut rng, &mut scratch)
         })
     });
     group.finish();

@@ -133,6 +133,7 @@ fn run() -> Result<(), String> {
             jitter: 0.1,
             run_membership_gossip: false,
             max_time: 1_000_000.0,
+            ..AsyncConfig::default()
         };
         let async_start = Instant::now();
         let mut async_rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA51C);

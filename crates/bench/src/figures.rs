@@ -6,15 +6,17 @@
 
 use std::collections::BTreeMap;
 
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use hybridcast_core::async_engine::{disseminate_async_frozen, AsyncConfig, AsyncReport};
 use hybridcast_core::experiment::{
     random_origins, run_disseminations, run_seed, run_seeded_async, run_seeded_disseminations,
     run_seeded_push_pulls, AggregateStats,
 };
 use hybridcast_core::metrics::DisseminationReport;
+use hybridcast_core::netmodel::{DelayModel, LossModel, NetModel, PartitionEvent};
 use hybridcast_core::overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
 use hybridcast_core::protocols::{DenseSelector, GossipTargetSelector, RingCast};
 use hybridcast_core::pull::PushPullReport;
@@ -414,6 +416,7 @@ pub fn push_pull_extension(params: &ExperimentParams, fail_fraction: f64) -> Vec
     let pull_config = PullConfig {
         fanout: 1,
         max_rounds: 50,
+        ..PullConfig::default()
     };
 
     // Each engine builds only the overlay representation it runs over.
@@ -431,7 +434,7 @@ pub fn push_pull_extension(params: &ExperimentParams, fail_fraction: f64) -> Vec
                     let reports = run_seeded_push_pulls(
                         &dense,
                         &protocol,
-                        pull_config,
+                        &pull_config,
                         params.runs,
                         run_seed(params.seed, tag),
                         params.thread_count(),
@@ -458,7 +461,7 @@ pub fn push_pull_extension(params: &ExperimentParams, fail_fraction: f64) -> Vec
                                 &overlay,
                                 &protocol,
                                 origin,
-                                pull_config,
+                                &pull_config,
                                 &mut rng,
                             )
                         })
@@ -563,6 +566,7 @@ pub fn latency_ablation(
         jitter: 0.1,
         run_membership_gossip: live,
         max_time: 1_000_000.0,
+        ..AsyncConfig::default()
     };
 
     if params.engine == EngineKind::Dense {
@@ -637,6 +641,216 @@ pub fn latency_ablation(
         ));
     }
     out
+}
+
+/// Result row of the adversarial loss sweep: macroscopic dissemination
+/// quantities for one i.i.d. per-message loss rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversarialLossRow {
+    /// Probability that any single message is dropped in flight.
+    pub loss_rate: f64,
+    /// Mean hit ratio over the runs.
+    pub mean_hit_ratio: f64,
+    /// Mean number of dissemination messages sent per run (drops included).
+    pub mean_messages: f64,
+    /// Mean number of messages eaten by the loss process per run.
+    pub mean_dropped_loss: f64,
+    /// Runs in which every live node was notified.
+    pub completed_runs: usize,
+    /// Mean simulated completion time (only over completed runs).
+    pub mean_completion_time: Option<f64>,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+/// Result row of the partition sweep: dissemination behaviour for one
+/// scripted network-bisection duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversarialPartitionRow {
+    /// How long the bisection stayed up (0 = no partition, the baseline).
+    pub duration: f64,
+    /// Mean hit ratio over the runs.
+    pub mean_hit_ratio: f64,
+    /// Mean number of messages dropped at the cut per run.
+    pub mean_dropped_partition: f64,
+    /// Runs whose last first-notification landed after the heal — the runs
+    /// for which a re-convergence time is defined.
+    pub recovered_runs: usize,
+    /// Mean re-convergence time after the heal, over `recovered_runs`.
+    pub mean_recovery_time: Option<f64>,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+/// Runs `params.runs` seeded RingCast disseminations under `config` on the
+/// engine selected by `params.engine`.
+///
+/// The btree arm replays the exact per-run seeding contract of
+/// [`run_seeded_async`] — run `r` draws its origin and streams from
+/// `ChaCha8(run_seed(master_seed, r))` — through the id-keyed BTree engine
+/// over the same frozen overlay, so the two arms return **bit-identical**
+/// report vectors under every adversarial model (the differential the
+/// property suite pins).
+fn run_adversarial_async(
+    params: &ExperimentParams,
+    overlay: &DenseOverlay,
+    fanout: usize,
+    config: &AsyncConfig,
+    master_seed: u64,
+) -> Vec<AsyncReport> {
+    config.validate().expect("adversarial sweep config");
+    match params.engine {
+        EngineKind::Dense => run_seeded_async(
+            overlay,
+            &DenseSelector::ringcast(fanout),
+            config,
+            params.runs,
+            master_seed,
+            params.thread_count(),
+        ),
+        EngineKind::Btree => {
+            let live = overlay.live_indices();
+            assert!(!live.is_empty(), "overlay has no live nodes");
+            let selector = RingCast::new(fanout);
+            (0..params.runs)
+                .map(|run| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(run_seed(master_seed, run as u64));
+                    let origin = overlay.node_id(live[rng.gen_range(0..live.len())]);
+                    disseminate_async_frozen(overlay, &selector, origin, config, &mut rng)
+                })
+                .collect()
+        }
+    }
+}
+
+/// **Adversarial extension (loss)**: hit ratio and message overhead of
+/// RingCast in the event-driven engine as an i.i.d. per-message loss
+/// process eats a growing fraction of the traffic.
+///
+/// A rate of `0.0` uses [`LossModel::None`], so the first row of the usual
+/// sweep is byte-for-byte the unmodelled engine — the zero-cost default the
+/// fixture baselines pin. The overlay is grown once and frozen; each rate
+/// gets its own master seed and `params.runs` seeded runs.
+pub fn adversarial_loss_sweep(
+    params: &ExperimentParams,
+    loss_rates: &[f64],
+) -> Vec<AdversarialLossRow> {
+    let fanout = params.fanouts.first().copied().unwrap_or(3);
+    let overlay = static_dense_overlay(params);
+    loss_rates
+        .iter()
+        .enumerate()
+        .map(|(tag, &rate)| {
+            let config = AsyncConfig {
+                run_membership_gossip: false,
+                net: NetModel {
+                    loss: if rate > 0.0 {
+                        LossModel::Iid { rate }
+                    } else {
+                        LossModel::None
+                    },
+                    ..NetModel::default()
+                },
+                ..AsyncConfig::default()
+            };
+            let reports = run_adversarial_async(
+                params,
+                &overlay,
+                fanout,
+                &config,
+                run_seed(params.seed, tag as u64),
+            );
+            let runs = reports.len();
+            let completed: Vec<f64> = reports.iter().filter_map(|r| r.completion_time).collect();
+            AdversarialLossRow {
+                loss_rate: rate,
+                mean_hit_ratio: reports.iter().map(AsyncReport::hit_ratio).sum::<f64>()
+                    / runs as f64,
+                mean_messages: reports.iter().map(|r| r.messages_sent as f64).sum::<f64>()
+                    / runs as f64,
+                mean_dropped_loss: reports.iter().map(|r| r.dropped_loss as f64).sum::<f64>()
+                    / runs as f64,
+                completed_runs: completed.len(),
+                mean_completion_time: if completed.is_empty() {
+                    None
+                } else {
+                    Some(completed.iter().sum::<f64>() / completed.len() as f64)
+                },
+                runs,
+            }
+        })
+        .collect()
+}
+
+/// **Adversarial extension (partitions)**: re-convergence of RingCast after
+/// a scripted network bisection of varying duration.
+///
+/// Every row splits the overlay into the same salt-keyed halves at time
+/// `start` and heals it `duration` later; a duration of `0.0` runs with no
+/// partition at all (the baseline row). Per-link delays are heavy-tailed
+/// ([`DelayModel::LogNormal`], σ = 1.25) so a tail of messages is still in
+/// flight when the cut heals and the measured re-convergence time — last
+/// first-notification minus heal time — is not an artifact of the cut
+/// killing the run outright.
+pub fn adversarial_partition_sweep(
+    params: &ExperimentParams,
+    durations: &[f64],
+    start: f64,
+) -> Vec<AdversarialPartitionRow> {
+    let fanout = params.fanouts.first().copied().unwrap_or(3);
+    let overlay = static_dense_overlay(params);
+    durations
+        .iter()
+        .enumerate()
+        .map(|(tag, &duration)| {
+            let partitions = if duration > 0.0 {
+                vec![PartitionEvent::bisection(start, duration, 0x00C0_FFEE)]
+            } else {
+                Vec::new()
+            };
+            let config = AsyncConfig {
+                run_membership_gossip: false,
+                net: NetModel {
+                    delay: DelayModel::LogNormal {
+                        mu: 0.0,
+                        sigma: 1.25,
+                    },
+                    partitions,
+                    ..NetModel::default()
+                },
+                ..AsyncConfig::default()
+            };
+            let reports = run_adversarial_async(
+                params,
+                &overlay,
+                fanout,
+                &config,
+                run_seed(params.seed, tag as u64),
+            );
+            let runs = reports.len();
+            let recoveries: Vec<f64> = reports
+                .iter()
+                .filter_map(|r| r.partition_recovery.first().copied().flatten())
+                .collect();
+            AdversarialPartitionRow {
+                duration,
+                mean_hit_ratio: reports.iter().map(AsyncReport::hit_ratio).sum::<f64>()
+                    / runs as f64,
+                mean_dropped_partition: reports
+                    .iter()
+                    .map(|r| r.dropped_partition as f64)
+                    .sum::<f64>()
+                    / runs as f64,
+                recovered_runs: recoveries.len(),
+                mean_recovery_time: if recoveries.is_empty() {
+                    None
+                } else {
+                    Some(recoveries.iter().sum::<f64>() / recoveries.len() as f64)
+                },
+                runs,
+            }
+        })
+        .collect()
 }
 
 /// **Section 8 ablation**: reliability of different d-link structures under
@@ -948,5 +1162,75 @@ mod tests {
         for (_, table) in &views {
             assert_eq!(table.rows.len(), 2);
         }
+    }
+
+    #[test]
+    fn adversarial_loss_sweep_degrades_hit_ratio_and_is_engine_invariant() {
+        let mut params = tiny();
+        params.fanouts = vec![3];
+        params.runs = 6;
+        let rates = [0.0, 0.2, 0.6];
+        let rows = adversarial_loss_sweep(&params, &rates);
+        assert_eq!(rows.len(), 3);
+
+        // The lossless row is the unmodelled engine: complete and drop-free.
+        assert_eq!(rows[0].mean_hit_ratio, 1.0);
+        assert_eq!(rows[0].mean_dropped_loss, 0.0);
+        assert_eq!(rows[0].completed_runs, params.runs);
+        // Heavier loss eats a larger fraction of the traffic (absolute
+        // counts can shrink — at 60% the dissemination dies early) and at
+        // 60% the hit ratio visibly degrades.
+        assert!(rows[1].mean_dropped_loss > 0.0);
+        let fraction = |row: &AdversarialLossRow| row.mean_dropped_loss / row.mean_messages;
+        assert!(fraction(&rows[2]) > fraction(&rows[1]));
+        assert!(
+            (fraction(&rows[1]) - 0.2).abs() < 0.1,
+            "drops track the rate"
+        );
+        assert!(rows[2].mean_hit_ratio < rows[0].mean_hit_ratio);
+
+        // Thread-count invariance and dense/btree bit-identity.
+        let mut sequential = params.clone();
+        sequential.threads = 1;
+        assert_eq!(rows, adversarial_loss_sweep(&sequential, &rates));
+        let mut btree = params.clone();
+        btree.engine = EngineKind::Btree;
+        assert_eq!(
+            rows,
+            adversarial_loss_sweep(&btree, &rates),
+            "the btree arm must replay the dense arm bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn adversarial_partition_sweep_reports_recovery_and_is_engine_invariant() {
+        let mut params = tiny();
+        params.fanouts = vec![3];
+        params.runs = 6;
+        let durations = [0.0, 4.0];
+        let rows = adversarial_partition_sweep(&params, &durations, 2.0);
+        assert_eq!(rows.len(), 2);
+
+        // Baseline: no partition, nothing dropped at a cut, no recovery axis.
+        assert_eq!(rows[0].mean_dropped_partition, 0.0);
+        assert_eq!(rows[0].recovered_runs, 0);
+        assert_eq!(rows[0].mean_recovery_time, None);
+        // A healed bisection drops traffic at the cut but the heavy-tailed
+        // in-flight messages carry the dissemination across the heal.
+        assert!(rows[1].mean_dropped_partition > 0.0);
+        assert!(rows[1].recovered_runs > 0);
+        assert!(rows[1].mean_recovery_time.unwrap() > 0.0);
+        // Forwarding is one-shot (no anti-entropy), so a few nodes whose
+        // only notifications were eaten at the cut can stay unreached —
+        // but the late heavy-tail deliveries carry most runs across.
+        assert!(rows[1].mean_hit_ratio > 0.9, "heal mostly recovers");
+
+        let mut btree = params.clone();
+        btree.engine = EngineKind::Btree;
+        assert_eq!(
+            rows,
+            adversarial_partition_sweep(&btree, &durations, 2.0),
+            "the btree arm must replay the dense arm bit-for-bit"
+        );
     }
 }

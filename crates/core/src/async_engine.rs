@@ -34,6 +34,23 @@
 //! small fraction of the gossip period to several periods and shows that
 //! hit ratio and message overhead stay put — only wall-clock completion
 //! time scales.
+//!
+//! # Adversarial network models
+//!
+//! Each engine threads [`AsyncConfig::net`] — a [`NetModel`] — through its
+//! per-message hot path: scripted partitions drop messages whose endpoints
+//! are separated at *send* time, a loss process ([`crate::netmodel::LossModel`])
+//! drops messages per sender, and a delay distribution
+//! ([`crate::netmodel::DelayModel`]) replaces the legacy fixed-jitter draw.
+//! Dropped messages still count in [`AsyncReport::messages_sent`] and the
+//! per-hop totals (they were sent; the network ate them), and are broken
+//! out in [`AsyncReport::dropped_loss`] / [`AsyncReport::dropped_partition`].
+//! Membership gossip in [`disseminate_async`] is *not* subject to the model:
+//! it abstracts the overlay-maintenance plane, and the model targets the
+//! dissemination plane. The default model is bit-identical to the engines
+//! before the model existed — same draws, same reports — and the dense/BTree
+//! pair stays bit-identical under every model; both contracts are pinned by
+//! the differential property tests.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -45,11 +62,12 @@ use serde::{Deserialize, Serialize};
 use hybridcast_graph::NodeId;
 use hybridcast_sim::Network;
 
+use crate::netmodel::{jittered, partition_recovery, NetModel};
 use crate::overlay::{DenseBits, DenseOverlay, Overlay, NO_NODE};
 use crate::protocols::{DenseSelector, GossipTargetSelector};
 
 /// Configuration of an event-driven dissemination run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AsyncConfig {
     /// Gossip period of the membership protocols (time units).
     pub gossip_period: f64,
@@ -62,8 +80,13 @@ pub struct AsyncConfig {
     /// Only [`disseminate_async`] reads this flag: the frozen and dense
     /// engines run over an immutable overlay by construction.
     pub run_membership_gossip: bool,
-    /// Hard cap on simulated time, as a safety net.
+    /// Hard cap on simulated time, as a safety net. A run cut off by the
+    /// cap sets [`AsyncReport::truncated`].
     pub max_time: f64,
+    /// Adversarial network model: per-message delay distribution, loss
+    /// process and scripted partitions. The default model reproduces the
+    /// pre-model engines bit for bit.
+    pub net: NetModel,
 }
 
 impl Default for AsyncConfig {
@@ -74,6 +97,7 @@ impl Default for AsyncConfig {
             jitter: 0.1,
             run_membership_gossip: true,
             max_time: 10_000.0,
+            net: NetModel::default(),
         }
     }
 }
@@ -84,8 +108,9 @@ impl AsyncConfig {
     /// # Errors
     ///
     /// Returns an error if any duration is non-positive (except the
-    /// forwarding delay, which may be zero) or the jitter is not in
-    /// `[0, 1)`.
+    /// forwarding delay, which may be zero), the jitter is not in
+    /// `[0, 1)`, or the network model is malformed (negative loss rates,
+    /// out-of-range burst parameters, non-positive partition durations).
     pub fn validate(&self) -> Result<(), String> {
         if self.gossip_period <= 0.0 {
             return Err("gossip period must be positive".into());
@@ -99,7 +124,7 @@ impl AsyncConfig {
         if self.max_time <= 0.0 {
             return Err("max time must be positive".into());
         }
-        Ok(())
+        self.net.validate()
     }
 }
 
@@ -127,6 +152,22 @@ pub struct AsyncReport {
     pub completion_time: Option<f64>,
     /// Per-node notification time.
     pub notification_times: BTreeMap<NodeId, f64>,
+    /// Messages dropped by the loss process ([`crate::netmodel::LossModel`]).
+    /// Dropped messages still count in [`AsyncReport::messages_sent`] and
+    /// the per-hop totals.
+    pub dropped_loss: usize,
+    /// Messages dropped because a scripted partition separated the
+    /// endpoints at send time.
+    pub dropped_partition: usize,
+    /// Per scripted [`crate::netmodel::PartitionEvent`] (in script order):
+    /// how long after the heal instant the last notification landed —
+    /// the re-convergence time — or `None` if no node was notified at or
+    /// after the heal.
+    pub partition_recovery: Vec<Option<f64>>,
+    /// `true` if the event queue was cut off by [`AsyncConfig::max_time`]
+    /// with dissemination deliveries still pending — the report then
+    /// understates what an unbounded run would have achieved.
+    pub truncated: bool,
 }
 
 impl AsyncReport {
@@ -244,18 +285,6 @@ fn momentary_view(network: &Network, node: NodeId) -> Option<MomentaryView> {
     })
 }
 
-/// The jitter rule every async engine shares: a multiplicative uniform
-/// perturbation of ±`jitter`, drawn as exactly one `f64` — or no draw at
-/// all when jitter or the base duration is zero. Keeping this in one place
-/// is what keeps the RNG streams of the three engines aligned.
-fn jittered(base: f64, rng: &mut ChaCha8Rng, jitter: f64) -> f64 {
-    if jitter == 0.0 || base == 0.0 {
-        base
-    } else {
-        base * (1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0))
-    }
-}
-
 /// Runs one event-driven dissemination of a message originating at `origin`
 /// over the live `network`.
 ///
@@ -315,12 +344,17 @@ pub fn disseminate_async(
     let mut messages_sent = 0usize;
     let mut messages_redundant = 0usize;
     let mut messages_to_dead = 0usize;
+    let mut dropped_loss = 0usize;
+    let mut dropped_partition = 0usize;
+    let mut ge_bad: BTreeMap<NodeId, bool> = BTreeMap::new();
     let mut per_hop_messages = vec![0usize];
     let mut pending_deliveries = 1usize;
     let mut completion_time = None;
+    let mut truncated = false;
 
     while let Some(TimedEvent { time, event, .. }) = queue.pop() {
         if time > config.max_time {
+            truncated = pending_deliveries > 0;
             break;
         }
         match event {
@@ -362,8 +396,23 @@ pub fn disseminate_async(
                 per_hop_messages[hop_idx] += targets.len();
                 for target in targets {
                     messages_sent += 1;
+                    if config.net.blocks(to, target, time) {
+                        dropped_partition += 1;
+                        continue;
+                    }
+                    if !config.net.loss.is_none() {
+                        let bad = ge_bad.entry(to).or_insert(false);
+                        if config.net.loss.sample(bad, rng) {
+                            dropped_loss += 1;
+                            continue;
+                        }
+                    }
                     pending_deliveries += 1;
-                    let delay = jittered(config.forwarding_delay, rng, config.jitter);
+                    let delay =
+                        config
+                            .net
+                            .delay
+                            .sample(config.forwarding_delay, config.jitter, rng);
                     push(
                         &mut queue,
                         &mut seq,
@@ -379,6 +428,8 @@ pub fn disseminate_async(
         }
     }
 
+    let partition_recovery =
+        partition_recovery(&config.net.partitions, notification_times.values().copied());
     AsyncReport {
         population,
         reached: notified.len(),
@@ -388,6 +439,10 @@ pub fn disseminate_async(
         per_hop_messages,
         completion_time,
         notification_times,
+        dropped_loss,
+        dropped_partition,
+        partition_recovery,
+        truncated,
     }
 }
 
@@ -444,11 +499,17 @@ pub fn disseminate_async_frozen(
     let mut messages_sent = 0usize;
     let mut messages_redundant = 0usize;
     let mut messages_to_dead = 0usize;
+    let mut dropped_loss = 0usize;
+    let mut dropped_partition = 0usize;
+    let mut ge_bad: BTreeMap<NodeId, bool> = BTreeMap::new();
     let mut per_hop_messages = vec![0usize];
     let mut completion_time = None;
+    let mut truncated = false;
 
     while let Some(TimedEvent { time, event, .. }) = queue.pop() {
         if time > config.max_time {
+            // Every queued event is a pending delivery here.
+            truncated = true;
             break;
         }
         let Event::Deliver { to, from, hop } = event else {
@@ -475,7 +536,21 @@ pub fn disseminate_async_frozen(
         per_hop_messages[hop_idx] += targets.len();
         for target in targets {
             messages_sent += 1;
-            let delay = jittered(config.forwarding_delay, rng, config.jitter);
+            if config.net.blocks(to, target, time) {
+                dropped_partition += 1;
+                continue;
+            }
+            if !config.net.loss.is_none() {
+                let bad = ge_bad.entry(to).or_insert(false);
+                if config.net.loss.sample(bad, rng) {
+                    dropped_loss += 1;
+                    continue;
+                }
+            }
+            let delay = config
+                .net
+                .delay
+                .sample(config.forwarding_delay, config.jitter, rng);
             push(
                 &mut queue,
                 &mut seq,
@@ -489,6 +564,8 @@ pub fn disseminate_async_frozen(
         }
     }
 
+    let partition_recovery =
+        partition_recovery(&config.net.partitions, notification_times.values().copied());
     AsyncReport {
         population,
         reached: notified.len(),
@@ -498,6 +575,10 @@ pub fn disseminate_async_frozen(
         per_hop_messages,
         completion_time,
         notification_times,
+        dropped_loss,
+        dropped_partition,
+        partition_recovery,
+        truncated,
     }
 }
 
@@ -547,6 +628,9 @@ pub struct DenseAsyncScratch {
     queue: BinaryHeap<DenseEvent>,
     targets: Vec<u32>,
     pool: Vec<u32>,
+    /// Per-sender Gilbert–Elliott chain state (`false` = good), the dense
+    /// mirror of the oracle's id-keyed state map.
+    ge_bad: Vec<bool>,
 }
 
 impl DenseAsyncScratch {
@@ -565,6 +649,8 @@ impl DenseAsyncScratch {
         self.queue.clear();
         self.targets.clear();
         self.pool.clear();
+        self.ge_bad.clear();
+        self.ge_bad.resize(len, false);
     }
 }
 
@@ -637,6 +723,7 @@ pub fn disseminate_async_dense(
         queue,
         targets,
         pool,
+        ge_bad,
     } = scratch;
 
     let mut seq = 0u64;
@@ -653,10 +740,15 @@ pub fn disseminate_async_dense(
     let mut messages_sent = 0usize;
     let mut messages_redundant = 0usize;
     let mut messages_to_dead = 0usize;
+    let mut dropped_loss = 0usize;
+    let mut dropped_partition = 0usize;
     let mut completion_time = None;
+    let mut truncated = false;
 
     while let Some(event) = queue.pop() {
         if event.time > config.max_time {
+            // Every queued event is a pending delivery here.
+            truncated = true;
             break;
         }
         if !overlay.is_live_idx(event.to) {
@@ -680,7 +772,25 @@ pub fn disseminate_async_dense(
         per_hop[hop_idx] += targets.len();
         for &target in targets.iter() {
             messages_sent += 1;
-            let delay = jittered(config.forwarding_delay, rng, config.jitter);
+            if config.net.blocks(
+                overlay.node_id(event.to),
+                overlay.node_id(target),
+                event.time,
+            ) {
+                dropped_partition += 1;
+                continue;
+            }
+            if !config.net.loss.is_none() {
+                let bad = &mut ge_bad[event.to as usize];
+                if config.net.loss.sample(bad, rng) {
+                    dropped_loss += 1;
+                    continue;
+                }
+            }
+            let delay = config
+                .net
+                .delay
+                .sample(config.forwarding_delay, config.jitter, rng);
             seq += 1;
             queue.push(DenseEvent {
                 time: event.time + delay,
@@ -701,6 +811,8 @@ pub fn disseminate_async_dense(
         }
     }
 
+    let partition_recovery =
+        partition_recovery(&config.net.partitions, notification_times.values().copied());
     AsyncReport {
         population,
         reached,
@@ -710,6 +822,10 @@ pub fn disseminate_async_dense(
         per_hop_messages: per_hop.clone(),
         completion_time,
         notification_times,
+        dropped_loss,
+        dropped_partition,
+        partition_recovery,
+        truncated,
     }
 }
 
@@ -1000,6 +1116,192 @@ mod tests {
         let again =
             disseminate_async_dense(&big, &selector, origin, &config, &mut rng(1), &mut scratch);
         assert_eq!(first, again);
+    }
+
+    #[test]
+    fn tiny_max_time_sets_the_truncated_flag_in_all_three_engines() {
+        // With a forwarding delay of 1.0 and a max_time well below the
+        // network diameter, every engine must cut the run short and say so.
+        let tiny = AsyncConfig {
+            run_membership_gossip: false,
+            max_time: 1.5,
+            ..AsyncConfig::default()
+        };
+        let mut network = warmed_network(200, 40);
+        let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let dense = DenseOverlay::from(&overlay);
+        let origin = overlay.live_node_ids()[0];
+
+        let frozen =
+            disseminate_async_frozen(&overlay, &RingCast::new(3), origin, &tiny, &mut rng(41));
+        assert!(frozen.truncated, "frozen engine must flag the cutoff");
+        assert!(!frozen.is_complete());
+
+        let mut scratch = DenseAsyncScratch::new();
+        let fast = disseminate_async_dense(
+            &dense,
+            &DenseSelector::ringcast(3),
+            origin,
+            &tiny,
+            &mut rng(41),
+            &mut scratch,
+        );
+        assert_eq!(frozen, fast, "truncated reports must stay bit-identical");
+
+        let live = disseminate_async(
+            &mut network,
+            &RingCast::new(3),
+            origin,
+            &AsyncConfig {
+                run_membership_gossip: true,
+                ..tiny.clone()
+            },
+            &mut rng(41),
+        );
+        assert!(live.truncated, "live engine must flag the cutoff");
+
+        // A generous max_time leaves the flag clear.
+        let full = disseminate_async_frozen(
+            &overlay,
+            &RingCast::new(3),
+            origin,
+            &AsyncConfig {
+                run_membership_gossip: false,
+                ..AsyncConfig::default()
+            },
+            &mut rng(41),
+        );
+        assert!(!full.truncated);
+        assert!(full.is_complete());
+    }
+
+    #[test]
+    fn live_engine_is_not_truncated_when_only_gossip_ticks_remain() {
+        // Gossip ticks keep firing past the dissemination's end; cutting
+        // those off is not a truncated *dissemination*.
+        let mut network = warmed_network(100, 42);
+        let origin = network.live_ids()[0];
+        let config = AsyncConfig {
+            max_time: 500.0,
+            ..AsyncConfig::default()
+        };
+        let report = disseminate_async(
+            &mut network,
+            &RingCast::new(3),
+            origin,
+            &config,
+            &mut rng(43),
+        );
+        assert!(report.is_complete());
+        assert!(
+            !report.truncated,
+            "leftover gossip ticks at max_time are not a truncation"
+        );
+    }
+
+    #[test]
+    fn iid_loss_drops_messages_and_keeps_the_accounting_consistent() {
+        use crate::netmodel::LossModel;
+        let network = warmed_network(250, 44);
+        let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let origin = overlay.live_node_ids()[2];
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            net: NetModel {
+                loss: LossModel::Iid { rate: 0.3 },
+                ..NetModel::default()
+            },
+            ..AsyncConfig::default()
+        };
+        let lossy =
+            disseminate_async_frozen(&overlay, &RingCast::new(3), origin, &config, &mut rng(45));
+        assert!(lossy.dropped_loss > 0, "30% loss must drop something");
+        assert_eq!(lossy.dropped_partition, 0);
+        // Dropped messages still count as sent and per-hop totals balance.
+        assert_eq!(
+            lossy.per_hop_messages.iter().sum::<usize>(),
+            lossy.messages_sent
+        );
+        // Deliveries = sent − dropped; each is redundant, dead, or a
+        // first notification (reached includes the origin's self-notify).
+        assert_eq!(
+            lossy.messages_sent - lossy.dropped_loss - lossy.dropped_partition,
+            lossy.messages_redundant + lossy.messages_to_dead + lossy.reached - 1
+        );
+    }
+
+    #[test]
+    fn partition_drops_cross_cut_messages_and_reports_recovery() {
+        use crate::netmodel::PartitionEvent;
+        let network = warmed_network(300, 46);
+        let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let origin = overlay.live_node_ids()[0];
+        // Partition from t=0 outlasting the whole run: the origin's side
+        // disseminates normally, the far side stays dark.
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            net: NetModel {
+                partitions: vec![PartitionEvent::bisection(0.0, 50.0, 0xFEED)],
+                ..NetModel::default()
+            },
+            ..AsyncConfig::default()
+        };
+        let report =
+            disseminate_async_frozen(&overlay, &RingCast::new(3), origin, &config, &mut rng(47));
+        assert!(
+            report.dropped_partition > 0,
+            "a bisection from t=0 must cut cross-side forwards"
+        );
+        assert_eq!(report.partition_recovery.len(), 1);
+        assert!(!report.is_complete(), "the far side is unreachable");
+        // The bisection is roughly balanced: the origin's side alone is
+        // notified, so coverage sits near half the population.
+        assert!(report.reached > report.population / 4);
+        assert!(report.reached < 3 * report.population / 4);
+
+        // A partition that heals mid-run only delays the far side: the
+        // frontier is still active at the heal and crosses the cut.
+        let healing = AsyncConfig {
+            run_membership_gossip: false,
+            net: NetModel {
+                partitions: vec![PartitionEvent::bisection(0.0, 6.0, 0xFEED)],
+                ..NetModel::default()
+            },
+            ..AsyncConfig::default()
+        };
+        let healed =
+            disseminate_async_frozen(&overlay, &RingCast::new(3), origin, &healing, &mut rng(47));
+        assert!(healed.dropped_partition > 0);
+        assert!(healed.is_complete(), "the heal lets the frontier cross");
+        let recovery =
+            healed.partition_recovery[0].expect("notifications land after the heal at t = 6");
+        assert!(recovery > 0.0);
+
+        // No partitions → empty recovery vector.
+        let clean = disseminate_async_frozen(
+            &overlay,
+            &RingCast::new(3),
+            origin,
+            &AsyncConfig {
+                run_membership_gossip: false,
+                ..AsyncConfig::default()
+            },
+            &mut rng(47),
+        );
+        assert!(clean.partition_recovery.is_empty());
+        assert_eq!(clean.dropped_partition, 0);
+    }
+
+    #[test]
+    fn invalid_net_model_is_rejected_by_config_validation() {
+        use crate::netmodel::{LossModel, PartitionEvent};
+        let mut config = AsyncConfig::default();
+        assert!(config.validate().is_ok());
+        config.net.loss = LossModel::Iid { rate: -0.5 };
+        assert!(config.validate().is_err());
+        config.net.loss = LossModel::None;
+        config.net.partitions = vec![PartitionEvent::bisection(1.0, -1.0, 0)];
+        assert!(config.validate().is_err());
     }
 
     #[test]

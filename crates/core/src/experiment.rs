@@ -228,7 +228,7 @@ pub fn run_seeded_async(
 pub fn run_seeded_push_pulls(
     overlay: &DenseOverlay,
     selector: &DenseSelector,
-    config: PullConfig,
+    config: &PullConfig,
     runs: usize,
     master_seed: u64,
     threads: usize,
@@ -452,10 +452,11 @@ mod tests {
         let config = PullConfig {
             fanout: 1,
             max_rounds: 30,
+            ..PullConfig::default()
         };
-        let sequential = run_seeded_push_pulls(&dense, &selector, config, 9, 34, 1);
+        let sequential = run_seeded_push_pulls(&dense, &selector, &config, 9, 34, 1);
         for threads in [2, 4, 16] {
-            let parallel = run_seeded_push_pulls(&dense, &selector, config, 9, 34, threads);
+            let parallel = run_seeded_push_pulls(&dense, &selector, &config, 9, 34, threads);
             assert_eq!(sequential, parallel, "threads = {threads}");
         }
         // Pull rounds only ever improve on the push phase.

@@ -39,6 +39,11 @@
 //!   [`async_engine::disseminate_async`] (live membership gossip),
 //!   [`async_engine::disseminate_async_frozen`] (frozen oracle) and the
 //!   allocation-free [`async_engine::disseminate_async_dense`].
+//! * [`netmodel`] — adversarial network models threaded through the async
+//!   and pull engines: heavy-tailed and bimodal delay distributions,
+//!   i.i.d. and Gilbert–Elliott bursty loss, and scripted partition/heal
+//!   timelines, all seed-reproducible off the per-run RNG streams. The
+//!   default model is bit-identical to the engines without it.
 //!
 //! Every dissemination mode thus ships as a matched pair — a readable
 //! id-keyed BTree engine that serves as the oracle, and a dense CSR
@@ -81,6 +86,7 @@ pub mod engine;
 pub mod experiment;
 pub mod message;
 pub mod metrics;
+pub mod netmodel;
 pub mod overlay;
 pub mod protocols;
 pub mod pubsub;
@@ -96,6 +102,7 @@ pub use experiment::{
     run_seeded_push_pulls,
 };
 pub use metrics::DisseminationReport;
+pub use netmodel::{DelayModel, LossModel, NetModel, PartitionEvent};
 pub use overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
 pub use protocols::{DenseSelector, Flooding, GossipTargetSelector, RandCast, RingCast};
 pub use pull::{

@@ -24,8 +24,23 @@
 //!   polls over borrowed index slices. Bit-identical [`PushPullReport`]s to
 //!   the oracle for the same overlay, selector, origin and seed, pinned by
 //!   differential property tests.
+//!
+//! # Adversarial network models
+//!
+//! The pull phase threads [`PullConfig::net`] — a
+//! [`crate::netmodel::NetModel`] — through every poll: a poll whose
+//! round-trip is eaten by the loss process yields nothing even if the
+//! polled peer holds the message, and a poll across an active scripted
+//! partition is blocked outright. Since pull rounds are synchronous, the
+//! model's time axis is the 1-based *round index* (a partition with
+//! `start = 2.0`, `duration = 3.0` blocks cross-cut polls in rounds 2–4),
+//! and the delay distribution is ignored — rounds have no sub-round
+//! timing. The push phase is the hop-synchronous engine and runs
+//! unmodeled; the event-driven engines in [`crate::async_engine`] are
+//! where delays and loss shape the push path. The default model is
+//! bit-identical to the pre-model pull engines, draw for draw.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::seq::SliceRandom;
 use rand::RngCore;
@@ -35,16 +50,22 @@ use hybridcast_graph::NodeId;
 
 use crate::engine::{disseminate, disseminate_dense, DenseScratch};
 use crate::metrics::DisseminationReport;
+use crate::netmodel::NetModel;
 use crate::overlay::{DenseBits, DenseOverlay, Overlay};
 use crate::protocols::{DenseSelector, GossipTargetSelector};
 
 /// Configuration of the pull phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PullConfig {
     /// Number of random neighbours each still-missing node polls per round.
     pub fanout: usize,
     /// Maximum number of pull rounds before giving up.
     pub max_rounds: usize,
+    /// Adversarial network model applied to the pull polls. The delay
+    /// distribution is ignored (rounds are synchronous); partitions read
+    /// the 1-based round index as their time axis. The default model
+    /// reproduces the pre-model engines bit for bit.
+    pub net: NetModel,
 }
 
 impl Default for PullConfig {
@@ -52,6 +73,7 @@ impl Default for PullConfig {
         PullConfig {
             fanout: 1,
             max_rounds: 20,
+            net: NetModel::default(),
         }
     }
 }
@@ -61,12 +83,13 @@ impl PullConfig {
     ///
     /// # Errors
     ///
-    /// Returns an error if the pull fanout is zero.
+    /// Returns an error if the pull fanout is zero or the network model is
+    /// malformed.
     pub fn validate(&self) -> Result<(), String> {
         if self.fanout == 0 {
             return Err("pull fanout must be positive".into());
         }
-        Ok(())
+        self.net.validate()
     }
 }
 
@@ -88,6 +111,13 @@ pub struct PushPullReport {
     pub reached_after_pull: usize,
     /// Live nodes still missing the message after the pull phase.
     pub unreached_after_pull: Vec<NodeId>,
+    /// Polls whose round-trip was eaten by the loss process
+    /// ([`crate::netmodel::LossModel`]); they count in
+    /// [`PushPullReport::pull_requests`] but cannot yield a transfer.
+    pub polls_lost: usize,
+    /// Polls blocked because a scripted partition separated poller and
+    /// peer in that round.
+    pub polls_blocked: usize,
 }
 
 impl PushPullReport {
@@ -138,7 +168,7 @@ pub fn disseminate_push_pull(
     overlay: &dyn Overlay,
     selector: &dyn GossipTargetSelector,
     origin: NodeId,
-    config: PullConfig,
+    config: &PullConfig,
     rng: &mut dyn RngCore,
 ) -> PushPullReport {
     config.validate().expect("invalid pull configuration");
@@ -154,10 +184,15 @@ pub fn disseminate_push_pull(
     let mut pull_rounds = 0usize;
     let mut pull_requests = 0usize;
     let mut pull_transfers = 0usize;
+    let mut polls_lost = 0usize;
+    let mut polls_blocked = 0usize;
+    let mut ge_bad: BTreeMap<NodeId, bool> = BTreeMap::new();
     let mut per_round_new = Vec::new();
 
     while holders.len() < live.len() && pull_rounds < config.max_rounds {
         pull_rounds += 1;
+        // Partitions read the 1-based round index as their time axis.
+        let round_time = pull_rounds as f64;
         let mut obtained_this_round = Vec::new();
         for &node in live.iter().filter(|id| !holders.contains(id)) {
             let mut neighbours: Vec<NodeId> = overlay
@@ -168,7 +203,27 @@ pub fn disseminate_push_pull(
             neighbours.shuffle(rng);
             neighbours.truncate(config.fanout);
             pull_requests += neighbours.len();
-            if neighbours.iter().any(|peer| holders.contains(peer)) {
+            // Every poll draws its loss sample (no short-circuit): the
+            // draw schedule must not depend on holder state, or the dense
+            // engine's stream would drift from the oracle's.
+            let mut success = false;
+            for &peer in &neighbours {
+                if config.net.blocks(node, peer, round_time) {
+                    polls_blocked += 1;
+                    continue;
+                }
+                if !config.net.loss.is_none() {
+                    let bad = ge_bad.entry(node).or_insert(false);
+                    if config.net.loss.sample(bad, rng) {
+                        polls_lost += 1;
+                        continue;
+                    }
+                }
+                if holders.contains(&peer) {
+                    success = true;
+                }
+            }
+            if success {
                 pull_transfers += 1;
                 obtained_this_round.push(node);
             }
@@ -202,6 +257,8 @@ pub fn disseminate_push_pull(
         per_round_new,
         reached_after_pull: holders.len(),
         unreached_after_pull,
+        polls_lost,
+        polls_blocked,
     }
 }
 
@@ -219,6 +276,9 @@ pub struct DensePullScratch {
     holders: DenseBits,
     neighbours: Vec<u32>,
     obtained: Vec<u32>,
+    /// Per-poller Gilbert–Elliott chain state (`false` = good), the dense
+    /// mirror of the oracle's id-keyed state map.
+    ge_bad: Vec<bool>,
 }
 
 impl DensePullScratch {
@@ -261,20 +321,20 @@ impl DensePullScratch {
 /// let sparse = StaticOverlay::random(&random);
 /// let dense = DenseOverlay::from(&sparse);
 /// let selector = DenseSelector::randcast(2);
-/// let config = PullConfig { fanout: 2, max_rounds: 30 };
+/// let config = PullConfig { fanout: 2, max_rounds: 30, ..PullConfig::default() };
 ///
 /// let mut scratch = DensePullScratch::new();
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
-/// let fast = disseminate_push_pull_dense(&dense, &selector, ids[0], config, &mut rng, &mut scratch);
+/// let fast = disseminate_push_pull_dense(&dense, &selector, ids[0], &config, &mut rng, &mut scratch);
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
-/// let slow = disseminate_push_pull(&sparse, &selector, ids[0], config, &mut rng);
+/// let slow = disseminate_push_pull(&sparse, &selector, ids[0], &config, &mut rng);
 /// assert_eq!(fast, slow);
 /// ```
 pub fn disseminate_push_pull_dense(
     overlay: &DenseOverlay,
     selector: &DenseSelector,
     origin: NodeId,
-    config: PullConfig,
+    config: &PullConfig,
     rng: &mut dyn RngCore,
     scratch: &mut DensePullScratch,
 ) -> PushPullReport {
@@ -287,7 +347,10 @@ pub fn disseminate_push_pull_dense(
         holders,
         neighbours,
         obtained,
+        ge_bad,
     } = scratch;
+    ge_bad.clear();
+    ge_bad.resize(len, false);
     // Only live nodes are ever notified, so the push engine's notified
     // bitset *is* the initial holder set.
     holders.copy_from(push_scratch.notified());
@@ -297,10 +360,14 @@ pub fn disseminate_push_pull_dense(
     let mut pull_rounds = 0usize;
     let mut pull_requests = 0usize;
     let mut pull_transfers = 0usize;
+    let mut polls_lost = 0usize;
+    let mut polls_blocked = 0usize;
     let mut per_round_new = Vec::new();
 
     while holder_count < live_count && pull_rounds < config.max_rounds {
         pull_rounds += 1;
+        // Partitions read the 1-based round index as their time axis.
+        let round_time = pull_rounds as f64;
         obtained.clear();
         for node in 0..len as u32 {
             if !overlay.is_live_idx(node) || holders.get(node) {
@@ -317,7 +384,29 @@ pub fn disseminate_push_pull_dense(
             neighbours.shuffle(rng);
             neighbours.truncate(config.fanout);
             pull_requests += neighbours.len();
-            if neighbours.iter().any(|&peer| holders.get(peer)) {
+            // Same full-scan (no short-circuit) poll loop as the oracle:
+            // every poll draws its loss sample in neighbour order.
+            let mut success = false;
+            for &peer in neighbours.iter() {
+                if config
+                    .net
+                    .blocks(overlay.node_id(node), overlay.node_id(peer), round_time)
+                {
+                    polls_blocked += 1;
+                    continue;
+                }
+                if !config.net.loss.is_none() {
+                    let bad = &mut ge_bad[node as usize];
+                    if config.net.loss.sample(bad, rng) {
+                        polls_lost += 1;
+                        continue;
+                    }
+                }
+                if holders.get(peer) {
+                    success = true;
+                }
+            }
+            if success {
                 pull_transfers += 1;
                 obtained.push(node);
             }
@@ -352,6 +441,8 @@ pub fn disseminate_push_pull_dense(
         per_round_new,
         reached_after_pull: holder_count,
         unreached_after_pull,
+        polls_lost,
+        polls_blocked,
     }
 }
 
@@ -382,7 +473,8 @@ mod tests {
         assert!(PullConfig::default().validate().is_ok());
         assert!(PullConfig {
             fanout: 0,
-            max_rounds: 5
+            max_rounds: 5,
+            ..PullConfig::default()
         }
         .validate()
         .is_err());
@@ -399,9 +491,10 @@ mod tests {
             &overlay,
             &RingCast::new(1),
             NodeId::new(0),
-            PullConfig {
+            &PullConfig {
                 fanout: 0,
                 max_rounds: 1,
+                ..PullConfig::default()
             },
             &mut rng,
         );
@@ -416,7 +509,7 @@ mod tests {
             &overlay,
             &RingCast::new(3),
             origin,
-            PullConfig::default(),
+            &PullConfig::default(),
             &mut rng,
         );
         assert!(report.push.is_complete());
@@ -435,9 +528,10 @@ mod tests {
             &overlay,
             &RandCast::new(2),
             origin,
-            PullConfig {
+            &PullConfig {
                 fanout: 2,
                 max_rounds: 30,
+                ..PullConfig::default()
             },
             &mut rng,
         );
@@ -475,9 +569,10 @@ mod tests {
             &overlay,
             &RandCast::new(3),
             origin,
-            PullConfig {
+            &PullConfig {
                 fanout: 2,
                 max_rounds: 30,
+                ..PullConfig::default()
             },
             &mut rng,
         );
@@ -504,9 +599,10 @@ mod tests {
             &overlay,
             &RingCast::new(2),
             ids[0],
-            PullConfig {
+            &PullConfig {
                 fanout: 1,
                 max_rounds: 1_000,
+                ..PullConfig::default()
             },
             &mut rng,
         );
@@ -532,15 +628,16 @@ mod tests {
             let config = PullConfig {
                 fanout: 1,
                 max_rounds: 40,
+                ..PullConfig::default()
             };
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let slow = disseminate_push_pull(&overlay, &selector, origin, config, &mut rng);
+            let slow = disseminate_push_pull(&overlay, &selector, origin, &config, &mut rng);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let fast = disseminate_push_pull_dense(
                 &dense,
                 &selector,
                 origin,
-                config,
+                &config,
                 &mut rng,
                 &mut scratch,
             );
@@ -563,13 +660,14 @@ mod tests {
         let config = PullConfig {
             fanout: 2,
             max_rounds: 30,
+            ..PullConfig::default()
         };
         let mut scratch = DensePullScratch::new();
         let mut rng = ChaCha8Rng::seed_from_u64(14);
-        let slow = disseminate_push_pull(&overlay, &selector, origin, config, &mut rng);
+        let slow = disseminate_push_pull(&overlay, &selector, origin, &config, &mut rng);
         let mut rng = ChaCha8Rng::seed_from_u64(14);
         let fast =
-            disseminate_push_pull_dense(&dense, &selector, origin, config, &mut rng, &mut scratch);
+            disseminate_push_pull_dense(&dense, &selector, origin, &config, &mut rng, &mut scratch);
         assert_eq!(slow, fast);
         assert!(fast.push.messages_to_dead > 0, "stale links hit dead nodes");
     }
@@ -583,13 +681,14 @@ mod tests {
         let config = PullConfig {
             fanout: 1,
             max_rounds: 30,
+            ..PullConfig::default()
         };
         let mut scratch = DensePullScratch::new();
         let first = disseminate_push_pull_dense(
             &big_dense,
             &selector,
             origin,
-            config,
+            &config,
             &mut ChaCha8Rng::seed_from_u64(16),
             &mut scratch,
         );
@@ -601,7 +700,7 @@ mod tests {
             &small_dense,
             &selector,
             small_origin,
-            config,
+            &config,
             &mut ChaCha8Rng::seed_from_u64(18),
             &mut scratch,
         );
@@ -611,7 +710,7 @@ mod tests {
             &big_dense,
             &selector,
             origin,
-            config,
+            &config,
             &mut ChaCha8Rng::seed_from_u64(16),
             &mut scratch,
         );
@@ -627,9 +726,10 @@ mod tests {
             &overlay,
             &RandCast::new(2),
             origin,
-            PullConfig {
+            &PullConfig {
                 fanout: 1,
                 max_rounds: 50,
+                ..PullConfig::default()
             },
             &mut rng,
         );
@@ -640,5 +740,91 @@ mod tests {
         assert_eq!(report.per_round_new.len(), report.pull_rounds);
         assert!(report.pull_transfers <= report.pull_requests);
         assert!(report.hit_ratio() >= report.push.hit_ratio());
+    }
+
+    #[test]
+    fn lossy_polls_slow_the_pull_phase_but_equality_holds_across_engines() {
+        use crate::netmodel::{LossModel, NetModel};
+        let overlay = warmed_overlay(400, 19);
+        let dense = crate::overlay::DenseOverlay::from(&overlay);
+        let origin = overlay.snapshot().live_nodes().next().unwrap();
+        let clean = PullConfig {
+            fanout: 1,
+            max_rounds: 60,
+            ..PullConfig::default()
+        };
+        let lossy = PullConfig {
+            net: NetModel {
+                loss: LossModel::Iid { rate: 0.5 },
+                ..NetModel::default()
+            },
+            ..clean.clone()
+        };
+        let baseline = disseminate_push_pull(
+            &overlay,
+            &RandCast::new(2),
+            origin,
+            &clean,
+            &mut ChaCha8Rng::seed_from_u64(20),
+        );
+        let degraded = disseminate_push_pull(
+            &overlay,
+            &RandCast::new(2),
+            origin,
+            &lossy,
+            &mut ChaCha8Rng::seed_from_u64(20),
+        );
+        assert!(degraded.polls_lost > 0, "half the polls should be eaten");
+        assert_eq!(degraded.polls_blocked, 0);
+        assert!(
+            degraded.pull_rounds >= baseline.pull_rounds,
+            "loss cannot speed up anti-entropy: {} < {}",
+            degraded.pull_rounds,
+            baseline.pull_rounds
+        );
+        // Dense engine stays bit-identical under the lossy model.
+        let mut scratch = DensePullScratch::new();
+        let fast = disseminate_push_pull_dense(
+            &dense,
+            &DenseSelector::randcast(2),
+            origin,
+            &lossy,
+            &mut ChaCha8Rng::seed_from_u64(20),
+            &mut scratch,
+        );
+        assert_eq!(degraded, fast);
+    }
+
+    #[test]
+    fn partitioned_rounds_block_cross_cut_polls() {
+        use crate::netmodel::{NetModel, PartitionEvent};
+        let overlay = warmed_overlay(400, 21);
+        let origin = overlay.snapshot().live_nodes().next().unwrap();
+        // Partition covering pull rounds 1–5 (time axis = round index).
+        let config = PullConfig {
+            fanout: 2,
+            max_rounds: 40,
+            net: NetModel {
+                partitions: vec![PartitionEvent::bisection(1.0, 5.0, 0xBEEF)],
+                ..NetModel::default()
+            },
+        };
+        let report = disseminate_push_pull(
+            &overlay,
+            &RandCast::new(2),
+            origin,
+            &config,
+            &mut ChaCha8Rng::seed_from_u64(22),
+        );
+        if report.pull_rounds > 0 {
+            assert!(
+                report.polls_blocked > 0,
+                "a balanced bisection must block some cross-cut polls"
+            );
+        }
+        assert!(
+            report.is_complete(),
+            "polling resumes across the healed cut and closes the gap"
+        );
     }
 }

@@ -9,6 +9,7 @@ use hybridcast_core::async_engine::{
 };
 use hybridcast_core::engine::{disseminate, disseminate_dense, DenseScratch};
 use hybridcast_core::experiment::{run_seeded_async, run_seeded_disseminations};
+use hybridcast_core::netmodel::{DelayModel, LossModel, NetModel, PartitionEvent};
 use hybridcast_core::overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
 use hybridcast_core::protocols::{
     DenseSelector, DeterministicFlooding, Flooding, GossipTargetSelector, RandCast, RingCast,
@@ -77,6 +78,51 @@ fn selector_pair(
             Box::new(DeterministicFlooding::new()),
             DenseSelector::DeterministicFlooding,
         ),
+    }
+}
+
+/// Builds one of the adversarial network models the differentials sweep:
+/// every delay distribution, every loss process and 0–2 scripted
+/// partitions, parameterised by plain proptest integers so shrinking
+/// stays effective.
+fn adversarial_model(delay_idx: usize, loss_idx: usize, parts: usize, knob: u64) -> NetModel {
+    let delay = match delay_idx % 3 {
+        0 => DelayModel::FixedJitter,
+        1 => DelayModel::LogNormal {
+            mu: 0.0,
+            sigma: 0.25 + (knob % 8) as f64 * 0.25,
+        },
+        _ => DelayModel::Bimodal {
+            local_delay: 0.5,
+            wan_delay: 5.0,
+            wan_fraction: 0.1 + (knob % 5) as f64 * 0.15,
+        },
+    };
+    let loss = match loss_idx % 3 {
+        0 => LossModel::None,
+        1 => LossModel::Iid {
+            rate: (knob % 10) as f64 * 0.05,
+        },
+        _ => LossModel::GilbertElliott {
+            p_enter_bad: 0.05,
+            p_exit_bad: 0.25,
+            loss_good: 0.01,
+            loss_bad: 0.5,
+        },
+    };
+    let partitions = (0..parts)
+        .map(|i| {
+            PartitionEvent::bisection(
+                (knob % 7) as f64 + i as f64 * 2.0,
+                1.0 + (knob % 5) as f64,
+                knob ^ (i as u64).wrapping_mul(0x9E37_79B9),
+            )
+        })
+        .collect();
+    NetModel {
+        delay,
+        loss,
+        partitions,
     }
 }
 
@@ -481,20 +527,21 @@ proptest! {
         let config = PullConfig {
             fanout: pull_fanout,
             max_rounds: 25,
+            ..PullConfig::default()
         };
         let rng_seed = seed.wrapping_add(13);
         let slow = disseminate_push_pull(
             &overlay,
             generic.as_ref(),
             origin,
-            config,
+            &config,
             &mut ChaCha8Rng::seed_from_u64(rng_seed),
         );
         let fast = disseminate_push_pull_dense(
             &dense,
             &dense_sel,
             origin,
-            config,
+            &config,
             &mut ChaCha8Rng::seed_from_u64(rng_seed),
             &mut scratch,
         );
@@ -524,6 +571,7 @@ proptest! {
         let config = PullConfig {
             fanout: 1,
             max_rounds: 30,
+            ..PullConfig::default()
         };
         let selector = DenseSelector::randcast(fanout);
         let rng_seed = seed.wrapping_add(17);
@@ -531,19 +579,237 @@ proptest! {
             &overlay,
             &selector,
             origin,
-            config,
+            &config,
             &mut ChaCha8Rng::seed_from_u64(rng_seed),
         );
         let fast = disseminate_push_pull_dense(
             &dense,
             &selector,
             origin,
-            config,
+            &config,
             &mut ChaCha8Rng::seed_from_u64(rng_seed),
             &mut scratch,
         );
         prop_assert_eq!(&slow, &fast, "push-pull diverged after churn");
         prop_assert!(fast.hit_ratio() >= fast.push.hit_ratio());
+    }
+
+    /// Differential under adversarial network models: the dense async engine
+    /// and the frozen BTree oracle stay field-for-field identical for every
+    /// combination of delay distribution (fixed-jitter, log-normal,
+    /// bimodal), loss process (none, i.i.d., Gilbert–Elliott) and scripted
+    /// partition timeline — on plain hybrid overlays with extra failures
+    /// *and* on churned overlays with stale links and dead targets.
+    #[test]
+    fn dense_async_engine_matches_oracle_under_adversarial_models(
+        n in 10u64..70,
+        fanout in 1usize..5,
+        kill in 0usize..4,
+        seed in 0u64..100,
+        protocol_idx in 0usize..2,
+        delay_idx in 0usize..3,
+        loss_idx in 0usize..3,
+        parts in 0usize..3,
+        knob in 0u64..1000,
+        churned in any::<bool>(),
+    ) {
+        let (overlay, dense): (Box<dyn Overlay>, DenseOverlay) = if churned {
+            let o = churned_overlay(n as usize, 10, kill, seed);
+            let d = DenseOverlay::from(&o);
+            (Box::new(o), d)
+        } else {
+            let mut o = hybrid_overlay(n, 6, seed);
+            for k in 0..kill.min(n as usize - 1) {
+                o.kill_node(NodeId::new((seed + 3 * k as u64 + 1) % n));
+            }
+            let d = DenseOverlay::from(&o);
+            (Box::new(o), d)
+        };
+        let live = overlay.live_node_ids();
+        prop_assume!(!live.is_empty());
+        let origin = live[seed as usize % live.len()];
+
+        let (generic, dense_sel) = selector_pair(protocol_idx, fanout);
+        let mut scratch = DenseAsyncScratch::new();
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            net: adversarial_model(delay_idx, loss_idx, parts, knob),
+            ..AsyncConfig::default()
+        };
+        prop_assert!(config.validate().is_ok());
+        let rng_seed = seed.wrapping_add(19);
+        let slow = disseminate_async_frozen(
+            overlay.as_ref(),
+            generic.as_ref(),
+            origin,
+            &config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+        );
+        let fast = disseminate_async_dense(
+            &dense,
+            &dense_sel,
+            origin,
+            &config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+            &mut scratch,
+        );
+        prop_assert_eq!(&slow, &fast, "{} diverged under {:?}", generic.name(), config.net);
+
+        // Model-extended accounting: dropped messages still count as sent,
+        // and (unless the run was truncated) every non-dropped message was
+        // delivered as redundant, to-dead, or a first notification.
+        prop_assert_eq!(
+            fast.per_hop_messages.iter().sum::<usize>(),
+            fast.messages_sent
+        );
+        if !fast.truncated {
+            prop_assert_eq!(
+                fast.messages_sent - fast.dropped_loss - fast.dropped_partition,
+                fast.messages_redundant + fast.messages_to_dead + fast.reached - 1
+            );
+        }
+        prop_assert_eq!(fast.partition_recovery.len(), config.net.partitions.len());
+        if config.net.loss.is_none() {
+            prop_assert_eq!(fast.dropped_loss, 0);
+        }
+        if config.net.partitions.is_empty() {
+            prop_assert_eq!(fast.dropped_partition, 0);
+        }
+    }
+
+    /// The seeded async driver stays thread-count invariant under
+    /// adversarial models: loss chains and partition checks are all driven
+    /// off the per-run RNG streams, never shared mutable state.
+    #[test]
+    fn parallel_async_driver_is_thread_invariant_under_adversarial_models(
+        n in 20u64..60,
+        fanout in 1usize..4,
+        master_seed in 0u64..500,
+        threads in 2usize..6,
+        runs in 1usize..8,
+        delay_idx in 0usize..3,
+        loss_idx in 0usize..3,
+        parts in 0usize..3,
+        knob in 0u64..1000,
+    ) {
+        let overlay = hybrid_overlay(n, 6, master_seed);
+        let dense = DenseOverlay::from(&overlay);
+        let selector = DenseSelector::ringcast(fanout);
+        let config = AsyncConfig {
+            run_membership_gossip: false,
+            net: adversarial_model(delay_idx, loss_idx, parts, knob),
+            ..AsyncConfig::default()
+        };
+        let sequential = run_seeded_async(&dense, &selector, &config, runs, master_seed, 1);
+        let parallel = run_seeded_async(&dense, &selector, &config, runs, master_seed, threads);
+        prop_assert_eq!(sequential, parallel);
+    }
+
+    /// Differential under adversarial network models for the pull engines:
+    /// loss and partitions applied to the polls leave the dense engine and
+    /// the BTree oracle bit-identical, including on churned overlays.
+    #[test]
+    fn dense_pull_engine_matches_generic_under_adversarial_models(
+        n in 10u64..60,
+        fanout in 1usize..4,
+        pull_fanout in 1usize..4,
+        kill in 0usize..4,
+        seed in 0u64..100,
+        loss_idx in 0usize..3,
+        parts in 0usize..3,
+        knob in 0u64..1000,
+        churned in any::<bool>(),
+    ) {
+        let (overlay, dense): (Box<dyn Overlay>, DenseOverlay) = if churned {
+            let o = churned_overlay(n as usize, 10, kill, seed);
+            let d = DenseOverlay::from(&o);
+            (Box::new(o), d)
+        } else {
+            let mut o = hybrid_overlay(n, 6, seed);
+            for k in 0..kill.min(n as usize - 1) {
+                o.kill_node(NodeId::new((seed + 3 * k as u64 + 1) % n));
+            }
+            let d = DenseOverlay::from(&o);
+            (Box::new(o), d)
+        };
+        let live = overlay.live_node_ids();
+        prop_assume!(!live.is_empty());
+        let origin = live[seed as usize % live.len()];
+
+        let mut scratch = DensePullScratch::new();
+        let config = PullConfig {
+            fanout: pull_fanout,
+            max_rounds: 25,
+            net: adversarial_model(0, loss_idx, parts, knob),
+        };
+        prop_assert!(config.validate().is_ok());
+        let selector = DenseSelector::randcast(fanout);
+        let rng_seed = seed.wrapping_add(23);
+        let slow = disseminate_push_pull(
+            overlay.as_ref(),
+            &selector,
+            origin,
+            &config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+        );
+        let fast = disseminate_push_pull_dense(
+            &dense,
+            &selector,
+            origin,
+            &config,
+            &mut ChaCha8Rng::seed_from_u64(rng_seed),
+            &mut scratch,
+        );
+        prop_assert_eq!(&slow, &fast, "pull engines diverged under {:?}", config.net);
+        prop_assert!(fast.polls_lost + fast.polls_blocked <= fast.pull_requests);
+        if config.net.loss.is_none() {
+            prop_assert_eq!(fast.polls_lost, 0);
+        }
+        if config.net.partitions.is_empty() {
+            prop_assert_eq!(fast.polls_blocked, 0);
+        }
+    }
+
+    /// The explicit default model is the identity: running any engine with
+    /// `net: NetModel::default()` spelled out gives the exact report of the
+    /// config that never mentions the model — the zero-cost guarantee the
+    /// fixture baselines pin against the pre-model engines.
+    #[test]
+    fn explicit_default_net_model_changes_nothing(
+        n in 10u64..60,
+        fanout in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let overlay = hybrid_overlay(n, 6, seed);
+        let origin = NodeId::new(seed % n);
+        let implicit = AsyncConfig {
+            run_membership_gossip: false,
+            ..AsyncConfig::default()
+        };
+        let explicit = AsyncConfig {
+            net: NetModel {
+                delay: DelayModel::FixedJitter,
+                loss: LossModel::None,
+                partitions: Vec::new(),
+            },
+            ..implicit.clone()
+        };
+        prop_assert!(explicit.net.is_default());
+        let a = disseminate_async_frozen(
+            &overlay,
+            &RingCast::new(fanout),
+            origin,
+            &implicit,
+            &mut ChaCha8Rng::seed_from_u64(seed),
+        );
+        let b = disseminate_async_frozen(
+            &overlay,
+            &RingCast::new(fanout),
+            origin,
+            &explicit,
+            &mut ChaCha8Rng::seed_from_u64(seed),
+        );
+        prop_assert_eq!(a, b);
     }
 
     /// Flooding over a Harary graph H(n, t) still reaches everyone after

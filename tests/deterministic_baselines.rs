@@ -1,14 +1,28 @@
 //! Integration tests for the deterministic dissemination baselines of
 //! Section 3: flooding over trees, stars, cliques, rings and Harary graphs,
-//! and how their trade-offs compare to the hybrid protocol.
+//! and how their trade-offs compare to the hybrid protocol — plus seeded
+//! golden fixtures pinning the async/pull engines' exact reports: the
+//! legacy (default network model) values captured from the engines before
+//! the `NetModel` extension existed, and three canonical adversarial
+//! scenarios. Any RNG-stream drift or report-schema drift fails loudly
+//! here.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use hybridcast::core::async_engine::{
+    disseminate_async, disseminate_async_dense, disseminate_async_frozen, AsyncConfig,
+    DenseAsyncScratch,
+};
 use hybridcast::core::engine::disseminate;
-use hybridcast::core::overlay::StaticOverlay;
-use hybridcast::core::protocols::{DeterministicFlooding, RingCast};
+use hybridcast::core::netmodel::{DelayModel, LossModel, NetModel, PartitionEvent};
+use hybridcast::core::overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
+use hybridcast::core::protocols::{DenseSelector, DeterministicFlooding, RandCast, RingCast};
+use hybridcast::core::pull::{
+    disseminate_push_pull, disseminate_push_pull_dense, DensePullScratch, PullConfig,
+};
 use hybridcast::graph::{builders, harary, NodeId};
+use hybridcast::sim::{Network, SimConfig};
 
 fn ids(count: u64) -> Vec<NodeId> {
     (0..count).map(NodeId::new).collect()
@@ -178,4 +192,254 @@ fn bidirectional_ring_is_the_minimal_two_connected_overlay() {
         report.is_complete(),
         "random links must bridge the ring partitions (Figure 4)"
     );
+}
+
+// --- Seeded golden fixtures -------------------------------------------------
+//
+// The canonical overlay every fixture below runs over: a 300-node network
+// seeded with 42, warmed for 120 cycles. The origin is the smallest live
+// node id. Exact report values (including `f64` bit patterns) are pinned;
+// the legacy values were captured from the engines *before* the `NetModel`
+// extension was merged, so these tests are the executable form of the
+// zero-loss bit-identity contract.
+
+fn canonical_network() -> Network {
+    let mut network = Network::new(
+        SimConfig {
+            nodes: 300,
+            ..SimConfig::default()
+        },
+        42,
+    );
+    network.run_cycles(120);
+    network
+}
+
+fn canonical_overlay() -> SnapshotOverlay {
+    SnapshotOverlay::new(canonical_network().overlay_snapshot())
+}
+
+fn frozen_config() -> AsyncConfig {
+    AsyncConfig {
+        run_membership_gossip: false,
+        ..AsyncConfig::default()
+    }
+}
+
+fn notification_time_sum_bits(report: &hybridcast::core::AsyncReport) -> u64 {
+    report.notification_times.values().sum::<f64>().to_bits()
+}
+
+#[test]
+fn legacy_frozen_async_baseline_is_bit_stable_under_the_default_model() {
+    let overlay = canonical_overlay();
+    let dense = DenseOverlay::from(&overlay);
+    let origin = overlay.live_node_ids()[0];
+    let config = frozen_config();
+
+    let frozen =
+        disseminate_async_frozen(&overlay, &RingCast::new(3), origin, &config, &mut rng(4242));
+    let mut scratch = DenseAsyncScratch::new();
+    let fast = disseminate_async_dense(
+        &dense,
+        &DenseSelector::ringcast(3),
+        origin,
+        &config,
+        &mut rng(4242),
+        &mut scratch,
+    );
+    assert_eq!(frozen, fast, "oracle and dense engine must stay identical");
+
+    // Captured from the pre-NetModel engines: same draws, same report.
+    assert_eq!(frozen.population, 300);
+    assert_eq!(frozen.reached, 300);
+    assert_eq!(frozen.messages_sent, 900);
+    assert_eq!(frozen.messages_redundant, 601);
+    assert_eq!(frozen.messages_to_dead, 0);
+    assert_eq!(
+        frozen.per_hop_messages,
+        vec![0, 3, 9, 27, 81, 201, 318, 213, 42, 6]
+    );
+    assert_eq!(
+        frozen.completion_time.map(f64::to_bits),
+        Some(4620670166841637417)
+    );
+    assert_eq!(notification_time_sum_bits(&frozen), 4654122353820058973);
+    // The model-extension fields are inert under the default model.
+    assert_eq!(frozen.dropped_loss, 0);
+    assert_eq!(frozen.dropped_partition, 0);
+    assert!(frozen.partition_recovery.is_empty());
+    assert!(!frozen.truncated);
+}
+
+#[test]
+fn legacy_live_async_baseline_is_bit_stable_under_the_default_model() {
+    let mut network = canonical_network();
+    let origin = SnapshotOverlay::new(network.overlay_snapshot()).live_node_ids()[0];
+    let live = disseminate_async(
+        &mut network,
+        &RingCast::new(3),
+        origin,
+        &AsyncConfig::default(),
+        &mut rng(4242),
+    );
+    // Captured from the pre-NetModel live engine (membership gossip on).
+    assert_eq!(live.population, 300);
+    assert_eq!(live.reached, 300);
+    assert_eq!(live.messages_sent, 900);
+    assert_eq!(live.messages_redundant, 601);
+    assert_eq!(live.messages_to_dead, 0);
+    assert_eq!(
+        live.per_hop_messages,
+        vec![0, 3, 9, 27, 81, 186, 327, 246, 21]
+    );
+    assert_eq!(
+        live.completion_time.map(f64::to_bits),
+        Some(4619561985746230257)
+    );
+    assert_eq!(notification_time_sum_bits(&live), 4653954662971286881);
+    assert!(!live.truncated);
+}
+
+#[test]
+fn legacy_push_pull_baseline_is_bit_stable_under_the_default_model() {
+    let overlay = canonical_overlay();
+    let dense = DenseOverlay::from(&overlay);
+    let origin = overlay.live_node_ids()[0];
+    let config = PullConfig {
+        fanout: 1,
+        max_rounds: 30,
+        ..PullConfig::default()
+    };
+    let slow = disseminate_push_pull(&overlay, &RandCast::new(2), origin, &config, &mut rng(777));
+    let mut scratch = DensePullScratch::new();
+    let fast = disseminate_push_pull_dense(
+        &dense,
+        &DenseSelector::randcast(2),
+        origin,
+        &config,
+        &mut rng(777),
+        &mut scratch,
+    );
+    assert_eq!(
+        slow, fast,
+        "oracle and dense pull engine must stay identical"
+    );
+
+    // Captured from the pre-NetModel pull engines.
+    assert_eq!(slow.push.reached, 246);
+    assert_eq!(slow.push.total_messages(), 492);
+    assert_eq!(slow.pull_rounds, 2);
+    assert_eq!(slow.pull_requests, 62);
+    assert_eq!(slow.pull_transfers, 54);
+    assert_eq!(slow.reached_after_pull, 300);
+    assert_eq!(slow.per_round_new, vec![46, 8]);
+    assert!(slow.unreached_after_pull.is_empty());
+    assert_eq!(slow.polls_lost, 0);
+    assert_eq!(slow.polls_blocked, 0);
+}
+
+/// Runs one adversarial scenario through the frozen oracle and the dense
+/// engine, asserts they agree bit for bit, and returns the report.
+fn run_adversarial(net: NetModel) -> hybridcast::core::AsyncReport {
+    let overlay = canonical_overlay();
+    let dense = DenseOverlay::from(&overlay);
+    let origin = overlay.live_node_ids()[0];
+    let config = AsyncConfig {
+        run_membership_gossip: false,
+        net,
+        ..AsyncConfig::default()
+    };
+    let slow =
+        disseminate_async_frozen(&overlay, &RingCast::new(3), origin, &config, &mut rng(4242));
+    let mut scratch = DenseAsyncScratch::new();
+    let fast = disseminate_async_dense(
+        &dense,
+        &DenseSelector::ringcast(3),
+        origin,
+        &config,
+        &mut rng(4242),
+        &mut scratch,
+    );
+    assert_eq!(slow, fast, "oracle and dense engine diverge");
+    slow
+}
+
+#[test]
+fn golden_fixture_five_percent_iid_loss() {
+    let report = run_adversarial(NetModel {
+        loss: LossModel::Iid { rate: 0.05 },
+        ..NetModel::default()
+    });
+    assert_eq!(report.reached, 299, "5% loss strands one node here");
+    assert_eq!(report.messages_sent, 897);
+    assert_eq!(report.messages_redundant, 567);
+    assert_eq!(report.dropped_loss, 32);
+    assert_eq!(report.dropped_partition, 0);
+    assert_eq!(report.completion_time, None);
+    assert_eq!(notification_time_sum_bits(&report), 4654234368005513112);
+    assert_eq!(
+        report.per_hop_messages,
+        vec![0, 3, 9, 27, 75, 180, 288, 228, 75, 9, 3]
+    );
+    assert!(!report.truncated);
+}
+
+#[test]
+fn golden_fixture_bimodal_wan_delays() {
+    let report = run_adversarial(NetModel {
+        delay: DelayModel::Bimodal {
+            local_delay: 0.5,
+            wan_delay: 5.0,
+            wan_fraction: 0.2,
+        },
+        ..NetModel::default()
+    });
+    assert_eq!(report.reached, 300, "delays reshape timing, not coverage");
+    assert_eq!(report.messages_sent, 900);
+    assert_eq!(report.messages_redundant, 601);
+    assert_eq!(report.dropped_loss, 0);
+    assert_eq!(
+        report.completion_time.map(f64::to_bits),
+        Some(4621613975828709092)
+    );
+    assert_eq!(notification_time_sum_bits(&report), 4651033391718092686);
+    assert_eq!(
+        report.per_hop_messages,
+        vec![0, 3, 9, 24, 42, 96, 186, 246, 183, 87, 21, 3]
+    );
+    assert!(!report.truncated);
+}
+
+#[test]
+fn golden_fixture_mid_run_bisection_that_heals() {
+    let report = run_adversarial(NetModel {
+        partitions: vec![PartitionEvent::bisection(2.0, 4.0, 0xA5A5)],
+        ..NetModel::default()
+    });
+    assert_eq!(report.reached, 300, "the heal lets the frontier cross");
+    assert_eq!(report.messages_sent, 900);
+    assert_eq!(report.messages_redundant, 498);
+    assert_eq!(report.dropped_loss, 0);
+    assert_eq!(report.dropped_partition, 103);
+    assert_eq!(
+        report.completion_time.map(f64::to_bits),
+        Some(4623477831763448502)
+    );
+    assert_eq!(notification_time_sum_bits(&report), 4657119364350903302);
+    assert_eq!(
+        report.partition_recovery.len(),
+        1,
+        "one scripted event, one recovery slot"
+    );
+    assert_eq!(
+        report.partition_recovery[0].map(f64::to_bits),
+        Some(4619507046403712364),
+        "re-convergence time ≈ 6.95 after the heal at t = 6"
+    );
+    assert_eq!(
+        report.per_hop_messages,
+        vec![0, 3, 9, 27, 36, 48, 54, 66, 117, 192, 198, 120, 21, 6, 3]
+    );
+    assert!(!report.truncated);
 }
