@@ -59,6 +59,7 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use hybridcast_graph::cast::{idx, to_u32};
 use hybridcast_graph::NodeId;
 use hybridcast_sim::Network;
 
@@ -389,7 +390,7 @@ pub fn disseminate_async(
                 };
                 let sender = if from == to { None } else { Some(from) };
                 let targets = selector.select_targets(&view, to, sender, rng);
-                let hop_idx = hop as usize + 1;
+                let hop_idx = idx(hop) + 1;
                 if per_hop_messages.len() <= hop_idx {
                     per_hop_messages.resize(hop_idx + 1, 0);
                 }
@@ -529,7 +530,7 @@ pub fn disseminate_async_frozen(
         }
         let sender = if from == to { None } else { Some(from) };
         let targets = selector.select_targets(overlay, to, sender, rng);
-        let hop_idx = hop as usize + 1;
+        let hop_idx = idx(hop) + 1;
         if per_hop_messages.len() <= hop_idx {
             per_hop_messages.resize(hop_idx + 1, 0);
         }
@@ -640,6 +641,11 @@ impl DenseAsyncScratch {
         Self::default()
     }
 
+    /// Messages sent at each hop distance of the most recent run.
+    pub fn per_hop_messages(&self) -> &[usize] {
+        &self.per_hop
+    }
+
     fn reset(&mut self, len: usize) {
         self.notified.reset(len);
         self.notify_time.clear();
@@ -705,10 +711,86 @@ pub fn disseminate_async_dense(
     rng: &mut ChaCha8Rng,
     scratch: &mut DenseAsyncScratch,
 ) -> AsyncReport {
+    let stats = disseminate_async_dense_stats(overlay, selector, origin, config, rng, scratch);
+
+    // Convert back to the id-keyed report. This is the only part that
+    // allocates, and it is O(population) — independent of message count.
+    let mut notification_times: BTreeMap<NodeId, f64> = BTreeMap::new();
+    for i in 0..to_u32(overlay.len()) {
+        if scratch.notified.get(i) {
+            notification_times.insert(overlay.node_id(i), scratch.notify_time[idx(i)]);
+        }
+    }
+
+    let partition_recovery =
+        partition_recovery(&config.net.partitions, notification_times.values().copied());
+    AsyncReport {
+        population: stats.population,
+        reached: stats.reached,
+        messages_sent: stats.messages_sent,
+        messages_redundant: stats.messages_redundant,
+        messages_to_dead: stats.messages_to_dead,
+        per_hop_messages: scratch.per_hop.clone(),
+        completion_time: stats.completion_time,
+        notification_times,
+        dropped_loss: stats.dropped_loss,
+        dropped_partition: stats.dropped_partition,
+        partition_recovery,
+        truncated: stats.truncated,
+    }
+}
+
+/// Scalar accounting of one dense event-driven run, returned by
+/// [`disseminate_async_dense_stats`] without touching the allocator.
+///
+/// The per-hop series, the notified bitset and the flat notification-time
+/// array stay behind in the [`DenseAsyncScratch`]; everything here is
+/// `Copy`. [`disseminate_async_dense`] materializes the full id-keyed
+/// [`AsyncReport`] from the same state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DenseAsyncRunStats {
+    /// Live nodes at dissemination time.
+    pub population: usize,
+    /// Nodes notified before the run died out or was truncated.
+    pub reached: usize,
+    /// Total messages handed to the network model.
+    pub messages_sent: usize,
+    /// Deliveries to already-notified nodes.
+    pub messages_redundant: usize,
+    /// Deliveries absorbed by dead nodes.
+    pub messages_to_dead: usize,
+    /// Messages eaten by the loss process.
+    pub dropped_loss: usize,
+    /// Messages blocked by an active scripted partition.
+    pub dropped_partition: usize,
+    /// Time the last live node was notified, if the run completed.
+    pub completion_time: Option<f64>,
+    /// `true` if the run hit `max_time` with deliveries still queued.
+    pub truncated: bool,
+}
+
+/// The allocation-free core of [`disseminate_async_dense`]: runs the
+/// complete event-driven dissemination and returns only scalar accounting.
+///
+/// Over a warm [`DenseAsyncScratch`] (one prior run of at least this
+/// overlay size and event volume) the call performs **zero heap
+/// allocations** — the invariant `tests/zero_alloc.rs` pins with a counting
+/// allocator. The RNG draw sequence is identical to
+/// [`disseminate_async_dense`]'s.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or `origin` is not a live node.
+pub fn disseminate_async_dense_stats(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    config: &AsyncConfig,
+    rng: &mut ChaCha8Rng,
+    scratch: &mut DenseAsyncScratch,
+) -> DenseAsyncRunStats {
     config.validate().expect("invalid async configuration");
-    let origin_idx = overlay
-        .index_of(origin)
-        .filter(|&idx| overlay.is_live_idx(idx));
+    let origin_idx = overlay.index_of(origin).filter(|&i| overlay.is_live_idx(i));
     let Some(origin_idx) = origin_idx else {
         panic!("dissemination origin {origin} is not a live node");
     };
@@ -759,13 +841,13 @@ pub fn disseminate_async_dense(
             messages_redundant += 1;
             continue;
         }
-        notify_time[event.to as usize] = event.time;
+        notify_time[idx(event.to)] = event.time;
         reached += 1;
         if reached == population {
             completion_time = Some(event.time);
         }
         selector.select_dense(overlay, event.to, event.from, rng, targets, pool);
-        let hop_idx = event.hop as usize + 1;
+        let hop_idx = idx(event.hop) + 1;
         if per_hop.len() <= hop_idx {
             per_hop.resize(hop_idx + 1, 0);
         }
@@ -781,7 +863,7 @@ pub fn disseminate_async_dense(
                 continue;
             }
             if !config.net.loss.is_none() {
-                let bad = &mut ge_bad[event.to as usize];
+                let bad = &mut ge_bad[idx(event.to)];
                 if config.net.loss.sample(bad, rng) {
                     dropped_loss += 1;
                     continue;
@@ -802,29 +884,15 @@ pub fn disseminate_async_dense(
         }
     }
 
-    // Convert back to the id-keyed report. This is the only part that
-    // allocates, and it is O(population) — independent of message count.
-    let mut notification_times: BTreeMap<NodeId, f64> = BTreeMap::new();
-    for idx in 0..len as u32 {
-        if notified.get(idx) {
-            notification_times.insert(overlay.node_id(idx), notify_time[idx as usize]);
-        }
-    }
-
-    let partition_recovery =
-        partition_recovery(&config.net.partitions, notification_times.values().copied());
-    AsyncReport {
+    DenseAsyncRunStats {
         population,
         reached,
         messages_sent,
         messages_redundant,
         messages_to_dead,
-        per_hop_messages: per_hop.clone(),
-        completion_time,
-        notification_times,
         dropped_loss,
         dropped_partition,
-        partition_recovery,
+        completion_time,
         truncated,
     }
 }

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use rand::RngCore;
 
+use hybridcast_graph::cast::{idx, to_u32};
 use hybridcast_graph::NodeId;
 
 use crate::metrics::DisseminationReport;
@@ -153,6 +154,8 @@ pub struct DenseScratch {
     next_frontier: Vec<(u32, u32)>,
     targets: Vec<u32>,
     pool: Vec<u32>,
+    per_hop_new: Vec<usize>,
+    per_hop_messages: Vec<usize>,
 }
 
 impl DenseScratch {
@@ -169,6 +172,17 @@ impl DenseScratch {
         &self.notified
     }
 
+    /// Nodes first notified at each hop of the most recent run (hop 0 is
+    /// the origin), including the final redundant sweep.
+    pub fn per_hop_new(&self) -> &[usize] {
+        &self.per_hop_new
+    }
+
+    /// Messages sent at each hop of the most recent run.
+    pub fn per_hop_messages(&self) -> &[usize] {
+        &self.per_hop_messages
+    }
+
     fn reset(&mut self, len: usize) {
         self.notified.reset(len);
         self.received.clear();
@@ -179,6 +193,38 @@ impl DenseScratch {
         self.next_frontier.clear();
         self.targets.clear();
         self.pool.clear();
+        self.per_hop_new.clear();
+        self.per_hop_messages.clear();
+    }
+}
+
+/// Scalar accounting of one dense dissemination, returned by
+/// [`disseminate_dense_stats`] without touching the allocator.
+///
+/// The per-hop series and per-node counters of the run stay behind in the
+/// [`DenseScratch`] (see [`DenseScratch::per_hop_new`]); everything here is
+/// `Copy`. [`disseminate_dense`] materializes the full id-keyed
+/// [`DisseminationReport`] from the same state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseRunStats {
+    /// Live nodes at dissemination time.
+    pub population: usize,
+    /// Nodes holding the message when the dissemination died out.
+    pub reached: usize,
+    /// Last hop at which a virgin node was notified.
+    pub last_hop: usize,
+    /// Messages that notified a virgin node.
+    pub messages_to_virgin: usize,
+    /// Redundant messages to already-notified nodes.
+    pub messages_to_notified: usize,
+    /// Messages absorbed by dead nodes.
+    pub messages_to_dead: usize,
+}
+
+impl DenseRunStats {
+    /// Total messages sent over the run.
+    pub fn total_messages(&self) -> usize {
+        self.messages_to_virgin + self.messages_to_notified + self.messages_to_dead
     }
 }
 
@@ -223,9 +269,73 @@ pub fn disseminate_dense(
     rng: &mut dyn RngCore,
     scratch: &mut DenseScratch,
 ) -> DisseminationReport {
-    let origin_idx = overlay
-        .index_of(origin)
-        .filter(|&idx| overlay.is_live_idx(idx));
+    let stats = disseminate_dense_stats(overlay, selector, origin, rng, scratch);
+    materialize_dense_report(overlay, origin, stats, scratch)
+}
+
+/// Converts the state a stats run left in `scratch` back into the id-keyed
+/// [`DisseminationReport`] all metrics and figure code is written against.
+/// This is the only part that allocates, and it is O(population) —
+/// independent of message count.
+pub(crate) fn materialize_dense_report(
+    overlay: &DenseOverlay,
+    origin: NodeId,
+    stats: DenseRunStats,
+    scratch: &DenseScratch,
+) -> DisseminationReport {
+    let mut received_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut forwarded_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
+    let mut unreached: Vec<NodeId> = Vec::new();
+    for i in 0..to_u32(overlay.len()) {
+        let id = overlay.node_id(i);
+        if scratch.received[idx(i)] > 0 {
+            received_counts.insert(id, idx(scratch.received[idx(i)]));
+        }
+        if scratch.notified.get(i) {
+            forwarded_counts.insert(id, idx(scratch.forwarded[idx(i)]));
+        } else if overlay.is_live_idx(i) {
+            unreached.push(id);
+        }
+    }
+
+    DisseminationReport {
+        origin,
+        population: stats.population,
+        reached: stats.reached,
+        last_hop: stats.last_hop,
+        per_hop_new: scratch.per_hop_new.clone(),
+        per_hop_messages: scratch.per_hop_messages.clone(),
+        messages_to_virgin: stats.messages_to_virgin,
+        messages_to_notified: stats.messages_to_notified,
+        messages_to_dead: stats.messages_to_dead,
+        received_counts,
+        forwarded_counts,
+        unreached,
+    }
+}
+
+/// The allocation-free core of [`disseminate_dense`]: runs the complete
+/// hop-synchronous dissemination and returns only scalar accounting.
+///
+/// Over a warm [`DenseScratch`] (one prior run of at least this overlay
+/// size and message volume) the call performs **zero heap allocations** —
+/// the invariant `tests/zero_alloc.rs` pins with a counting allocator. The
+/// RNG draw sequence is identical to [`disseminate_dense`]'s, so a stats
+/// run and a report run from the same seed describe the same dissemination;
+/// the per-hop series and per-node counters remain readable from the
+/// scratch afterwards.
+///
+/// # Panics
+///
+/// Panics if `origin` is not a live node of the overlay.
+pub fn disseminate_dense_stats(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    rng: &mut dyn RngCore,
+    scratch: &mut DenseScratch,
+) -> DenseRunStats {
+    let origin_idx = overlay.index_of(origin).filter(|&i| overlay.is_live_idx(i));
     let Some(origin_idx) = origin_idx else {
         panic!("dissemination origin {origin} is not a live node");
     };
@@ -240,13 +350,15 @@ pub fn disseminate_dense(
         next_frontier,
         targets,
         pool,
+        per_hop_new,
+        per_hop_messages,
     } = scratch;
 
     notified.set(origin_idx);
     frontier.push((origin_idx, NO_NODE));
 
-    let mut per_hop_new = vec![1usize];
-    let mut per_hop_messages = vec![0usize];
+    per_hop_new.push(1);
+    per_hop_messages.push(0);
     let mut messages_to_virgin = 0usize;
     let mut messages_to_notified = 0usize;
     let mut messages_to_dead = 0usize;
@@ -260,14 +372,14 @@ pub fn disseminate_dense(
 
         for &(node, from) in frontier.iter() {
             selector.select_dense(overlay, node, from, rng, targets, pool);
-            forwarded[node as usize] += targets.len() as u32;
+            forwarded[idx(node)] += to_u32(targets.len());
             hop_messages += targets.len();
             for &target in targets.iter() {
                 if !overlay.is_live_idx(target) {
                     messages_to_dead += 1;
                     continue;
                 }
-                received[target as usize] += 1;
+                received[idx(target)] += 1;
                 if notified.set(target) {
                     messages_to_virgin += 1;
                     hop_new += 1;
@@ -287,39 +399,13 @@ pub fn disseminate_dense(
         next_frontier.clear();
     }
 
-    // Convert back to the id-keyed report all metrics and figure code is
-    // written against. This is the only part that allocates, and it is
-    // O(population) — independent of message count.
-    let mut received_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
-    let mut forwarded_counts: BTreeMap<NodeId, usize> = BTreeMap::new();
-    let mut unreached: Vec<NodeId> = Vec::new();
-    let mut reached = 0usize;
-    for idx in 0..len as u32 {
-        let id = overlay.node_id(idx);
-        if received[idx as usize] > 0 {
-            received_counts.insert(id, received[idx as usize] as usize);
-        }
-        if notified.get(idx) {
-            reached += 1;
-            forwarded_counts.insert(id, forwarded[idx as usize] as usize);
-        } else if overlay.is_live_idx(idx) {
-            unreached.push(id);
-        }
-    }
-
-    DisseminationReport {
-        origin,
+    DenseRunStats {
         population: overlay.live_len(),
-        reached,
+        reached: 1 + messages_to_virgin,
         last_hop,
-        per_hop_new,
-        per_hop_messages,
         messages_to_virgin,
         messages_to_notified,
         messages_to_dead,
-        received_counts,
-        forwarded_counts,
-        unreached,
     }
 }
 

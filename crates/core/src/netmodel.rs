@@ -625,6 +625,113 @@ mod tests {
     }
 
     #[test]
+    fn zero_width_partition_windows_are_rejected_and_inert() {
+        // A zero-duration window fails validation outright: it can never be
+        // active (`start <= t < start` has no solutions), so accepting it
+        // would silently script a no-op the experimenter believed ran.
+        let degenerate = PartitionEvent::bisection(5.0, 0.0, 9);
+        assert!(degenerate.validate().is_err());
+        assert_eq!(degenerate.end(), degenerate.start);
+        assert!(!degenerate.active_at(5.0), "empty window is never active");
+        assert!(!degenerate.active_at(4.999_999));
+        assert!(!degenerate.active_at(5.000_001));
+
+        // Even if one sneaks past validation, the model-level gate stays
+        // open: no pair is ever blocked by an empty window.
+        let model = NetModel {
+            partitions: vec![degenerate],
+            ..NetModel::default()
+        };
+        for n in 1..50 {
+            assert!(!model.blocks(NodeId::new(0), NodeId::new(n), 5.0));
+        }
+
+        // And recovery measurement treats every notification as landing
+        // after the (instantaneous) heal.
+        let recovery = partition_recovery(&[degenerate], [5.0, 7.5].into_iter());
+        assert_eq!(recovery, vec![Some(2.5)]);
+
+        // A positive duration below one ULP of the start passes validation
+        // but is absorbed by the addition in `end()` — the window still
+        // collapses to empty. Pin that float-rounding edge explicitly.
+        let sliver = PartitionEvent::bisection(5.0, f64::MIN_POSITIVE, 9);
+        assert!(sliver.validate().is_ok());
+        assert_eq!(sliver.end(), 5.0, "sub-ULP duration rounds away");
+        assert!(!sliver.active_at(5.0));
+
+        // The smallest *effective* window: a duration of at least one ULP
+        // survives the addition, and the half-open interval contains only
+        // times in `[start, start + duration)`.
+        let narrow = PartitionEvent::bisection(5.0, 1e-9, 9);
+        assert!(narrow.validate().is_ok());
+        assert!(narrow.end() > 5.0);
+        assert!(narrow.active_at(5.0));
+        assert!(!narrow.active_at(5.000_001));
+    }
+
+    #[test]
+    fn degenerate_gilbert_elliott_rates_behave_as_documented() {
+        // Frozen chain: with both transition probabilities zero the chain
+        // never leaves its initial good state, so the stationary rate is
+        // exactly `loss_good` (the 0/0 branch) and sampling never flips the
+        // state bit.
+        let frozen = LossModel::GilbertElliott {
+            p_enter_bad: 0.0,
+            p_exit_bad: 0.0,
+            loss_good: 0.25,
+            loss_bad: 1.0,
+        };
+        assert!(frozen.validate().is_ok());
+        assert_eq!(frozen.stationary_loss_rate(), 0.25);
+        let mut bad = false;
+        let mut r = rng(101);
+        for _ in 0..10_000 {
+            frozen.sample(&mut bad, &mut r);
+            assert!(!bad, "a frozen chain must never enter the bad state");
+        }
+
+        // Absorbing chain: entry probability 1, exit probability 0 — the
+        // first draw lands in the bad state and stays there, so with
+        // `loss_bad = 1` every message after the first draw is lost.
+        let absorbing = LossModel::GilbertElliott {
+            p_enter_bad: 1.0,
+            p_exit_bad: 0.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        assert!(absorbing.validate().is_ok());
+        assert_eq!(absorbing.stationary_loss_rate(), 1.0);
+        let mut bad = false;
+        let mut r = rng(102);
+        for _ in 0..100 {
+            assert!(absorbing.sample(&mut bad, &mut r));
+            assert!(bad);
+        }
+
+        // Equal-loss states: when both states lose at the same rate the
+        // chain is irrelevant and the stationary rate collapses to it.
+        let flat = LossModel::GilbertElliott {
+            p_enter_bad: 0.3,
+            p_exit_bad: 0.6,
+            loss_good: 0.2,
+            loss_bad: 0.2,
+        };
+        assert!((flat.stationary_loss_rate() - 0.2).abs() < 1e-12);
+
+        // NaN probabilities are rejected, in every parameter slot.
+        for slot in 0..4 {
+            let p = |i: usize| if i == slot { f64::NAN } else { 0.1 };
+            let model = LossModel::GilbertElliott {
+                p_enter_bad: p(0),
+                p_exit_bad: p(1),
+                loss_good: p(2),
+                loss_bad: p(3),
+            };
+            assert!(model.validate().is_err(), "NaN in slot {slot} accepted");
+        }
+    }
+
+    #[test]
     fn validation_rejects_malformed_models() {
         assert!(NetModel::default().validate().is_ok());
         assert!(NetModel::default().is_default());

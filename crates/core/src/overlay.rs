@@ -19,7 +19,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use hybridcast_graph::{DiGraph, NodeId};
+use hybridcast_graph::{cast, DiGraph, NodeId};
 use hybridcast_sim::{DenseSimNetwork, FlatLinks, OverlaySnapshot};
 
 /// Read-only access to the overlay a dissemination runs over.
@@ -234,20 +234,20 @@ impl DenseBits {
     }
 
     pub(crate) fn get(&self, bit: u32) -> bool {
-        self.words[bit as usize / 64] & (1 << (bit as usize % 64)) != 0
+        self.words[cast::idx(bit) / 64] & (1 << (cast::idx(bit) % 64)) != 0
     }
 
     /// Sets the bit; returns `true` if it was previously clear.
     pub(crate) fn set(&mut self, bit: u32) -> bool {
-        let word = &mut self.words[bit as usize / 64];
-        let mask = 1 << (bit as usize % 64);
+        let word = &mut self.words[cast::idx(bit) / 64];
+        let mask = 1 << (cast::idx(bit) % 64);
         let fresh = *word & mask == 0;
         *word |= mask;
         fresh
     }
 
     pub(crate) fn clear(&mut self, bit: u32) {
-        self.words[bit as usize / 64] &= !(1 << (bit as usize % 64));
+        self.words[cast::idx(bit) / 64] &= !(1 << (cast::idx(bit) % 64));
     }
 
     /// Makes this bitset an exact copy of `other`, reusing the existing
@@ -304,7 +304,7 @@ impl DenseOverlay {
         let index: BTreeMap<NodeId, u32> = ids
             .iter()
             .enumerate()
-            .map(|(i, &id)| (id, i as u32))
+            .map(|(i, &id)| (id, cast::to_u32(i)))
             .collect();
 
         let mut live = DenseBits::default();
@@ -318,8 +318,8 @@ impl DenseOverlay {
                 live.set(idx);
                 live_count += 1;
             }
-            r_links[idx as usize] = r;
-            d_links[idx as usize] = d;
+            r_links[cast::idx(idx)] = r;
+            d_links[cast::idx(idx)] = d;
         }
 
         let pack = |links: &[&[NodeId]]| -> (Vec<u32>, Vec<u32>) {
@@ -371,10 +371,10 @@ impl DenseOverlay {
             .iter()
             .enumerate()
             .map(|(i, &id)| {
-                let r =
-                    &links.r_targets[links.r_offsets[i] as usize..links.r_offsets[i + 1] as usize];
-                let d =
-                    &links.d_targets[links.d_offsets[i] as usize..links.d_offsets[i + 1] as usize];
+                let r = &links.r_targets
+                    [cast::idx(links.r_offsets[i])..cast::idx(links.r_offsets[i + 1])];
+                let d = &links.d_targets
+                    [cast::idx(links.d_offsets[i])..cast::idx(links.d_offsets[i + 1])];
                 (id, true, r, d)
             })
             .collect();
@@ -422,7 +422,7 @@ impl DenseOverlay {
 
     /// The id of the node at a dense index.
     pub fn node_id(&self, idx: u32) -> NodeId {
-        self.ids[idx as usize]
+        self.ids[cast::idx(idx)]
     }
 
     /// The dense index of a node id, if the node exists in the overlay.
@@ -438,24 +438,24 @@ impl DenseOverlay {
     /// The node's outgoing random links, as a borrowed index slice.
     pub fn r_links_of(&self, idx: u32) -> &[u32] {
         let (lo, hi) = (
-            self.r_offsets[idx as usize],
-            self.r_offsets[idx as usize + 1],
+            self.r_offsets[cast::idx(idx)],
+            self.r_offsets[cast::idx(idx) + 1],
         );
-        &self.r_targets[lo as usize..hi as usize]
+        &self.r_targets[cast::idx(lo)..cast::idx(hi)]
     }
 
     /// The node's outgoing deterministic links, as a borrowed index slice.
     pub fn d_links_of(&self, idx: u32) -> &[u32] {
         let (lo, hi) = (
-            self.d_offsets[idx as usize],
-            self.d_offsets[idx as usize + 1],
+            self.d_offsets[cast::idx(idx)],
+            self.d_offsets[cast::idx(idx) + 1],
         );
-        &self.d_targets[lo as usize..hi as usize]
+        &self.d_targets[cast::idx(lo)..cast::idx(hi)]
     }
 
     /// The dense indices of all live nodes, ascending (by id).
     pub fn live_indices(&self) -> Vec<u32> {
-        (0..self.ids.len() as u32)
+        (0..cast::to_u32(self.ids.len()))
             .filter(|&i| self.live.get(i))
             .collect()
     }
@@ -509,9 +509,9 @@ impl Overlay for DenseOverlay {
     }
 
     fn live_node_ids(&self) -> Vec<NodeId> {
-        (0..self.ids.len() as u32)
+        (0..cast::to_u32(self.ids.len()))
             .filter(|&i| self.live.get(i))
-            .map(|i| self.ids[i as usize])
+            .map(|i| self.ids[cast::idx(i)])
             .collect()
     }
 
@@ -523,7 +523,7 @@ impl Overlay for DenseOverlay {
         self.index_of(node).map_or_else(Vec::new, |idx| {
             self.r_links_of(idx)
                 .iter()
-                .map(|&t| self.ids[t as usize])
+                .map(|&t| self.ids[cast::idx(t)])
                 .collect()
         })
     }
@@ -532,7 +532,7 @@ impl Overlay for DenseOverlay {
         self.index_of(node).map_or_else(Vec::new, |idx| {
             self.d_links_of(idx)
                 .iter()
-                .map(|&t| self.ids[t as usize])
+                .map(|&t| self.ids[cast::idx(t)])
                 .collect()
         })
     }

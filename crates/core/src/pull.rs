@@ -46,9 +46,12 @@ use rand::seq::SliceRandom;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
+use hybridcast_graph::cast::{idx, to_u32};
 use hybridcast_graph::NodeId;
 
-use crate::engine::{disseminate, disseminate_dense, DenseScratch};
+use crate::engine::{
+    disseminate, disseminate_dense_stats, materialize_dense_report, DenseRunStats, DenseScratch,
+};
 use crate::metrics::DisseminationReport;
 use crate::netmodel::NetModel;
 use crate::overlay::{DenseBits, DenseOverlay, Overlay};
@@ -279,6 +282,7 @@ pub struct DensePullScratch {
     /// Per-poller Gilbert–Elliott chain state (`false` = good), the dense
     /// mirror of the oracle's id-keyed state map.
     ge_bad: Vec<bool>,
+    per_round_new: Vec<usize>,
 }
 
 impl DensePullScratch {
@@ -287,6 +291,35 @@ impl DensePullScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Nodes that obtained the message in each pull round of the most
+    /// recent run.
+    pub fn per_round_new(&self) -> &[usize] {
+        &self.per_round_new
+    }
+}
+
+/// Scalar accounting of one dense push + pull run, returned by
+/// [`disseminate_push_pull_dense_stats`] without touching the allocator.
+///
+/// The per-round series stays behind in the scratch (see
+/// [`DensePullScratch::per_round_new`]); everything here is `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DensePullRunStats {
+    /// Scalar accounting of the push phase.
+    pub push: DenseRunStats,
+    /// Pull rounds actually executed.
+    pub pull_rounds: usize,
+    /// Poll messages sent by nodes still missing the message.
+    pub pull_requests: usize,
+    /// Successful transfers triggered by polls.
+    pub pull_transfers: usize,
+    /// Nodes holding the message after the pull phase.
+    pub reached_after_pull: usize,
+    /// Polls eaten by the loss process.
+    pub polls_lost: usize,
+    /// Polls blocked by an active scripted partition.
+    pub polls_blocked: usize,
 }
 
 /// Runs a push dissemination followed by pull-based anti-entropy rounds
@@ -338,8 +371,51 @@ pub fn disseminate_push_pull_dense(
     rng: &mut dyn RngCore,
     scratch: &mut DensePullScratch,
 ) -> PushPullReport {
+    let stats = disseminate_push_pull_dense_stats(overlay, selector, origin, config, rng, scratch);
+
+    // Convert back to the id-keyed report; dense indices ascend by id, so
+    // the unreached list is ordered exactly like the generic engine's.
+    let push = materialize_dense_report(overlay, origin, stats.push, &scratch.push);
+    let unreached_after_pull: Vec<NodeId> = (0..to_u32(overlay.len()))
+        .filter(|&i| overlay.is_live_idx(i) && !scratch.holders.get(i))
+        .map(|i| overlay.node_id(i))
+        .collect();
+
+    PushPullReport {
+        push,
+        pull_rounds: stats.pull_rounds,
+        pull_requests: stats.pull_requests,
+        pull_transfers: stats.pull_transfers,
+        per_round_new: scratch.per_round_new.clone(),
+        reached_after_pull: stats.reached_after_pull,
+        unreached_after_pull,
+        polls_lost: stats.polls_lost,
+        polls_blocked: stats.polls_blocked,
+    }
+}
+
+/// The allocation-free core of [`disseminate_push_pull_dense`]: runs the
+/// complete push + pull process and returns only scalar accounting.
+///
+/// Over a warm [`DensePullScratch`] the call performs **zero heap
+/// allocations** — the invariant `tests/zero_alloc.rs` pins with a counting
+/// allocator. The RNG draw sequence is identical to
+/// [`disseminate_push_pull_dense`]'s; the per-round series and the holder
+/// bitset remain readable from the scratch afterwards.
+///
+/// # Panics
+///
+/// Panics if `origin` is not live or the pull configuration is invalid.
+pub fn disseminate_push_pull_dense_stats(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    config: &PullConfig,
+    rng: &mut dyn RngCore,
+    scratch: &mut DensePullScratch,
+) -> DensePullRunStats {
     config.validate().expect("invalid pull configuration");
-    let push = disseminate_dense(overlay, selector, origin, rng, &mut scratch.push);
+    let push = disseminate_dense_stats(overlay, selector, origin, rng, &mut scratch.push);
 
     let len = overlay.len();
     let DensePullScratch {
@@ -348,9 +424,11 @@ pub fn disseminate_push_pull_dense(
         neighbours,
         obtained,
         ge_bad,
+        per_round_new,
     } = scratch;
     ge_bad.clear();
     ge_bad.resize(len, false);
+    per_round_new.clear();
     // Only live nodes are ever notified, so the push engine's notified
     // bitset *is* the initial holder set.
     holders.copy_from(push_scratch.notified());
@@ -362,14 +440,13 @@ pub fn disseminate_push_pull_dense(
     let mut pull_transfers = 0usize;
     let mut polls_lost = 0usize;
     let mut polls_blocked = 0usize;
-    let mut per_round_new = Vec::new();
 
     while holder_count < live_count && pull_rounds < config.max_rounds {
         pull_rounds += 1;
         // Partitions read the 1-based round index as their time axis.
         let round_time = pull_rounds as f64;
         obtained.clear();
-        for node in 0..len as u32 {
+        for node in 0..to_u32(len) {
             if !overlay.is_live_idx(node) || holders.get(node) {
                 continue;
             }
@@ -396,7 +473,7 @@ pub fn disseminate_push_pull_dense(
                     continue;
                 }
                 if !config.net.loss.is_none() {
-                    let bad = &mut ge_bad[node as usize];
+                    let bad = &mut ge_bad[idx(node)];
                     if config.net.loss.sample(bad, rng) {
                         polls_lost += 1;
                         continue;
@@ -426,21 +503,12 @@ pub fn disseminate_push_pull_dense(
         }
     }
 
-    // Convert back to the id-keyed report; dense indices ascend by id, so
-    // the unreached list is ordered exactly like the generic engine's.
-    let unreached_after_pull: Vec<NodeId> = (0..len as u32)
-        .filter(|&idx| overlay.is_live_idx(idx) && !holders.get(idx))
-        .map(|idx| overlay.node_id(idx))
-        .collect();
-
-    PushPullReport {
+    DensePullRunStats {
         push,
         pull_rounds,
         pull_requests,
         pull_transfers,
-        per_round_new,
         reached_after_pull: holder_count,
-        unreached_after_pull,
         polls_lost,
         polls_blocked,
     }

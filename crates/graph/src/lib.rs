@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod builders;
+pub mod cast;
 pub mod connectivity;
 pub mod digraph;
 pub mod harary;

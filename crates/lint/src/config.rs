@@ -1,0 +1,276 @@
+//! The `lint.toml` allowlist: every exception to a rule, explicit and
+//! justified.
+//!
+//! The parser is a deliberately small hand-rolled reader for the subset of
+//! TOML the file uses (the workspace vendors all dependencies, so pulling a
+//! real TOML crate is not an option): `[[allow]]` array-of-table headers,
+//! `[hot-paths]` table headers, `key = "string"` pairs and multi-line
+//! string arrays. Unknown keys are errors — a typo in an exception must not
+//! silently disable it.
+
+use std::fmt;
+
+/// One allowlist entry: rule + path (+ optional detail) + justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the exception applies to (`D1`..`D4`, `A1`).
+    pub rule: String,
+    /// Repo-relative path (forward slashes) the exception covers.
+    pub path: String,
+    /// Optional detail refinement: the banned identifier (D1/D2) or the
+    /// allowed lint path (A1). `None` covers the whole file for the rule.
+    pub detail: Option<String>,
+    /// One-line justification. Required and non-empty.
+    pub reason: String,
+    /// Line in lint.toml, for diagnostics.
+    pub line: usize,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Explicit exceptions.
+    pub allows: Vec<AllowEntry>,
+    /// Files rule D3 (no raw index casts) governs.
+    pub hot_paths: Vec<String>,
+}
+
+/// A parse failure with its lint.toml line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+enum Section {
+    None,
+    Allow,
+    HotPaths,
+}
+
+impl Config {
+    /// Parses the contents of `lint.toml`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line: unknown section or key, missing
+    /// quotes, an `[[allow]]` entry without `rule`/`path`/`reason`, or an
+    /// empty `reason`.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut config = Config::default();
+        let mut section = Section::None;
+        let mut in_files_array = false;
+
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+
+            if in_files_array {
+                if line == "]" {
+                    in_files_array = false;
+                } else {
+                    let item = line.trim_end_matches(',').trim();
+                    config.hot_paths.push(unquote(item, lineno)?);
+                }
+                continue;
+            }
+
+            if line == "[[allow]]" {
+                section = Section::Allow;
+                config.allows.push(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    detail: None,
+                    reason: String::new(),
+                    line: lineno,
+                });
+                continue;
+            }
+            if line == "[hot-paths]" {
+                section = Section::HotPaths;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown section {line}"),
+                });
+            }
+
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got {line}"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+
+            match section {
+                Section::Allow => {
+                    let entry = config
+                        .allows
+                        .last_mut()
+                        .expect("section Allow implies an open entry");
+                    match key {
+                        "rule" => entry.rule = unquote(value, lineno)?,
+                        "path" => entry.path = unquote(value, lineno)?,
+                        "ident" | "lint" => entry.detail = Some(unquote(value, lineno)?),
+                        "reason" => entry.reason = unquote(value, lineno)?,
+                        other => {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: format!("unknown [[allow]] key `{other}`"),
+                            })
+                        }
+                    }
+                }
+                Section::HotPaths => match key {
+                    "files" => {
+                        if value == "[" {
+                            in_files_array = true;
+                        } else {
+                            return Err(ConfigError {
+                                line: lineno,
+                                message: "expected `files = [` opening a multi-line array".into(),
+                            });
+                        }
+                    }
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            message: format!("unknown [hot-paths] key `{other}`"),
+                        })
+                    }
+                },
+                Section::None => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("key `{key}` outside any section"),
+                    })
+                }
+            }
+        }
+
+        for entry in &config.allows {
+            if entry.rule.is_empty() || entry.path.is_empty() {
+                return Err(ConfigError {
+                    line: entry.line,
+                    message: "[[allow]] entry needs both `rule` and `path`".into(),
+                });
+            }
+            if entry.reason.trim().is_empty() {
+                return Err(ConfigError {
+                    line: entry.line,
+                    message: format!(
+                        "[[allow]] entry for {} ({}) has no `reason` — every exception \
+                         must be justified",
+                        entry.path, entry.rule
+                    ),
+                });
+            }
+        }
+        Ok(config)
+    }
+
+    /// Index of the first allowlist entry covering `rule` + `path` (+
+    /// `detail`), if any. An entry with no detail covers every detail.
+    pub fn find_allow(&self, rule: &str, path: &str, detail: &str) -> Option<usize> {
+        self.allows.iter().position(|e| {
+            e.rule == rule && e.path == path && e.detail.as_deref().map_or(true, |d| d == detail)
+        })
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough for this file: no `#` ever appears inside its strings.
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn unquote(value: &str, line: usize) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ConfigError {
+            line,
+            message: format!("expected a double-quoted string, got `{v}`"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# exceptions
+[[allow]]
+rule = "D1"
+path = "crates/graph/src/node.rs"
+ident = "HashSet"
+reason = "test exercises the Hash impl"
+
+[[allow]]
+rule = "D2"
+path = "crates/net/src/node.rs"
+reason = "wall-clock timeouts"
+
+[hot-paths]
+files = [
+    "crates/core/src/overlay.rs",
+    "crates/sim/src/dense.rs",
+]
+"#;
+
+    #[test]
+    fn parses_entries_and_hot_paths() {
+        let c = Config::parse(SAMPLE).unwrap();
+        assert_eq!(c.allows.len(), 2);
+        assert_eq!(c.allows[0].detail.as_deref(), Some("HashSet"));
+        assert_eq!(c.hot_paths.len(), 2);
+    }
+
+    #[test]
+    fn matching_honours_detail_refinement() {
+        let c = Config::parse(SAMPLE).unwrap();
+        assert!(c
+            .find_allow("D1", "crates/graph/src/node.rs", "HashSet")
+            .is_some());
+        assert!(c
+            .find_allow("D1", "crates/graph/src/node.rs", "HashMap")
+            .is_none());
+        // No-detail entry covers any detail.
+        assert!(c
+            .find_allow("D2", "crates/net/src/node.rs", "Instant::now")
+            .is_some());
+        assert!(c.find_allow("D2", "crates/net/src/other.rs", "x").is_none());
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let bad = "[[allow]]\nrule = \"D1\"\npath = \"x.rs\"\n";
+        let err = Config::parse(bad).unwrap_err();
+        assert!(err.message.contains("reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let bad = "[[allow]]\nrule = \"D1\"\npath = \"x.rs\"\nreson = \"typo\"\n";
+        assert!(Config::parse(bad).is_err());
+    }
+}

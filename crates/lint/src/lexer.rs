@@ -1,0 +1,409 @@
+//! A minimal Rust lexer over raw source text.
+//!
+//! The vendored `serde_derive` shim parses derive input by walking a flat
+//! cursor of tokens; this module applies the same approach to whole source
+//! files, which the `proc_macro` API cannot see. The lexer understands just
+//! enough of Rust's lexical grammar for sound rule checking: comments (line
+//! and nested block), string / raw-string / byte-string / char literals and
+//! lifetimes never produce identifier tokens, so `"thread_rng"` inside a
+//! test fixture string or a doc comment can never trip a rule.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `as`, `unsafe`, ...).
+    Ident,
+    /// A string, raw-string, byte-string, char or numeric literal.
+    Literal,
+    /// Any single punctuation character (`#`, `[`, `:`, ...).
+    Punct,
+}
+
+/// One lexed token: its kind, text and 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text (a single char for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// `true` for an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// `true` for a punctuation token with exactly this char.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `source` into a flat token stream, discarding comments and
+/// whitespace. Malformed input (unterminated literals) never panics: the
+/// remainder of the file is consumed as one literal, which only ever makes
+/// the scan more conservative.
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::from("\"...\""),
+                    line: start_line,
+                });
+            }
+            'r' | 'b' if starts_raw_string(&chars, i) => {
+                let start_line = line;
+                // Skip the `r`/`br` prefix, count the `#`s, find the quote.
+                while i < chars.len() && chars[i] != '#' && chars[i] != '"' {
+                    i += 1;
+                }
+                let mut hashes = 0usize;
+                while chars.get(i) == Some(&'#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                i += 1; // opening quote
+                'raw: while i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    } else if chars[i] == '"' {
+                        let mut j = i + 1;
+                        let mut seen = 0usize;
+                        while seen < hashes && chars.get(j) == Some(&'#') {
+                            seen += 1;
+                            j += 1;
+                        }
+                        if seen == hashes {
+                            i = j;
+                            break 'raw;
+                        }
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::from("r\"...\""),
+                    line: start_line,
+                });
+            }
+            'b' if chars.get(i + 1) == Some(&'"') => {
+                // Byte string: delegate to the plain string arm.
+                i += 1;
+                continue;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = chars.get(i + 1).copied().unwrap_or(' ');
+                let is_lifetime = (next.is_alphabetic() || next == '_')
+                    && chars.get(i + 2).copied() != Some('\'');
+                if is_lifetime {
+                    i += 1; // the identifier after it lexes as Ident
+                    tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: String::from("'"),
+                        line,
+                    });
+                } else {
+                    let start_line = line;
+                    i += 1;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::from("'.'"),
+                        line: start_line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // `0..len` must lex as number, range, number.
+                    if chars[i] == '.' && chars.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            other => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: other.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// `true` if position `i` starts a raw (possibly byte) string: `r"`,
+/// `r#"`, `br"`, `br#"`.
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Marks which tokens fall inside `#[cfg(test)]` items, so rules that only
+/// govern shipping code (D3) can skip test modules.
+///
+/// The supported shapes are the ones that occur in this workspace: a
+/// `#[cfg(test)]` attribute followed (possibly after more attributes) by a
+/// braced item (`mod tests { ... }`) — skipped to the matching close brace —
+/// or by a brace-less item (`use ...;`) — skipped to the `;`.
+pub fn in_cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the end of the following item.
+            let mut j = i;
+            // Step over this and any further attributes.
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                j = skip_attr(tokens, j);
+            }
+            let mut depth = 0usize;
+            let mut entered = false;
+            while j < tokens.len() {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                    entered = true;
+                } else if tokens[j].is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        break;
+                    }
+                } else if tokens[j].is_punct(';') && !entered {
+                    break;
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take((j + 1).min(tokens.len())).skip(i) {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// `true` if tokens starting at `i` spell `#[cfg(test)]` (or a
+/// `#[cfg(...)]` whose argument list contains the ident `test`, covering
+/// `#[cfg(any(test, feature = "x"))]`).
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !(tokens.len() > i + 4
+        && tokens[i].is_punct('#')
+        && tokens[i + 1].is_punct('[')
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_punct('('))
+    {
+        return false;
+    }
+    let end = skip_attr(tokens, i);
+    tokens[i + 4..end].iter().any(|t| t.is_ident("test"))
+}
+
+/// Returns the index just past the attribute starting at `i` (which must be
+/// a `#`), balancing the outer `[` `]` pair.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < tokens.len() && tokens[j].is_punct('!') {
+        j += 1;
+    }
+    if j >= tokens.len() || !tokens[j].is_punct('[') {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        if tokens[j].is_punct('[') {
+            depth += 1;
+        } else if tokens[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // thread_rng in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "SystemTime::now()";
+            let r = r#"Instant::now"#;
+            let c = 'H';
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real".to_string()));
+        assert!(!ids.iter().any(|i| i.contains("thread_rng")
+            || i.contains("HashMap")
+            || i.contains("SystemTime")
+            || i.contains("Instant")));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\n/* two\nlines */\nlet b = 2;\n";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.iter().filter(|i| *i == "a").count() >= 3);
+    }
+
+    #[test]
+    fn numeric_ranges_split_correctly() {
+        let toks = lex("for i in 0..len {}");
+        assert!(toks.iter().any(|t| t.is_ident("len")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "0"));
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_the_module_body() {
+        let src = r#"
+            fn hot() { let x = y as usize; }
+            #[cfg(test)]
+            mod tests {
+                fn t() { let x = y as usize; }
+            }
+            fn hot2() {}
+        "#;
+        let toks = lex(src);
+        let mask = in_cfg_test_mask(&toks);
+        let pos_of = |name: &str| toks.iter().position(|t| t.is_ident(name)).unwrap();
+        assert!(!mask[pos_of("hot")]);
+        assert!(mask[pos_of("t")]);
+        assert!(!mask[pos_of("hot2")]);
+    }
+
+    #[test]
+    fn cfg_test_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}";
+        let toks = lex(src);
+        let mask = in_cfg_test_mask(&toks);
+        let live = toks.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!mask[live]);
+        let bar = toks.iter().position(|t| t.is_ident("bar")).unwrap();
+        assert!(mask[bar]);
+    }
+}

@@ -1,0 +1,41 @@
+//! `hybridcast-lint`: the workspace's static-analysis pass.
+//!
+//! The repo's two load-bearing invariants — seed-determinism (every dense
+//! engine bit-identical to its BTree oracle) and zero-allocation warm hot
+//! paths — are enforced dynamically by differential property tests and the
+//! counting-allocator suite. This crate is the *static* half of the gate: a
+//! token-level scanner (the same hand-rolled lexing approach as the
+//! vendored `serde_derive` shim, applied to raw source text) that catches
+//! the common ways those invariants silently rot:
+//!
+//! * **D1** `no-hash-collections` — `HashMap`/`HashSet` in the
+//!   deterministic crates (`core`, `sim`, `membership`, `graph`): iteration
+//!   order depends on `RandomState`, which breaks seed-determinism.
+//! * **D2** `no-ambient-entropy` — `Instant::now`, `SystemTime`,
+//!   `thread_rng`, `from_entropy` anywhere outside the explicit allowlist
+//!   (wall-clock paths in `net`, bench binaries): ambient time and entropy
+//!   make runs unreproducible.
+//! * **D3** `no-raw-index-cast` — raw `as u32` / `as usize` in the dense
+//!   hot-path files listed in `lint.toml`: silent truncation; use
+//!   `hybridcast_graph::cast::{idx, to_u32, checked_u32}` instead.
+//! * **D4** `forbid-unsafe` — every first-party crate root carries
+//!   `#![forbid(unsafe_code)]`, and the vendored shims are inventoried into
+//!   `docs/UNSAFE_INVENTORY.md` (regenerate with `--write-inventory`).
+//! * **A1** `allow-attr` — every `#[allow(...)]` in first-party code needs
+//!   a justified `lint.toml` entry; unused allowlist entries are errors, so
+//!   stale exceptions cannot linger.
+//!
+//! Exceptions live in the checked-in `lint.toml` at the repo root — every
+//! one is explicit, justified and diffable. The binary exits non-zero on
+//! any violation, printing `file:line: rule: message` diagnostics.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod inventory;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+pub use rules::Violation;

@@ -1,0 +1,81 @@
+//! The `hybridcast-lint` binary: `cargo run -p lint --release`.
+//!
+//! Scans the workspace sources against rules D1–D4 + A1 (see the crate
+//! docs), verifies `docs/UNSAFE_INVENTORY.md` matches `vendor/`, and exits
+//! non-zero with `file:line: rule: message` diagnostics on any violation.
+//! `--write-inventory` regenerates the inventory file instead of verifying
+//! it.
+
+#![forbid(unsafe_code)]
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hybridcast_lint::{config::Config, inventory, scan};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => {
+            println!("hybridcast-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            eprintln!("hybridcast-lint: {n} violation(s)");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("hybridcast-lint: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<usize, String> {
+    let write_inventory = std::env::args().any(|a| a == "--write-inventory");
+
+    // Under `cargo run` the manifest dir is crates/lint; the workspace root
+    // is two levels up. Fall back to the current directory otherwise.
+    let root = match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir)
+            .ancestors()
+            .nth(2)
+            .expect("crates/lint has a workspace root two levels up")
+            .to_path_buf(),
+        None => std::env::current_dir().map_err(|e| e.to_string())?,
+    };
+
+    let config_path = root.join("lint.toml");
+    let config_text = fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let config = Config::parse(&config_text).map_err(|e| e.to_string())?;
+
+    let mut violations = scan::scan_workspace(&root, &config)?;
+
+    // Rule D4, vendored half: the unsafe inventory.
+    let crates = inventory::collect(&root)?;
+    let rendered = inventory::render(&crates);
+    let inventory_path = root.join("docs/UNSAFE_INVENTORY.md");
+    if write_inventory {
+        fs::write(&inventory_path, &rendered)
+            .map_err(|e| format!("cannot write {}: {e}", inventory_path.display()))?;
+        println!("wrote {}", inventory_path.display());
+    } else {
+        let on_disk = fs::read_to_string(&inventory_path).unwrap_or_default();
+        if on_disk != rendered {
+            violations.push(hybridcast_lint::Violation {
+                path: "docs/UNSAFE_INVENTORY.md".into(),
+                line: 1,
+                rule: "D4",
+                message: "inventory is out of date with vendor/ sources; regenerate with \
+                          `cargo run -p lint --release -- --write-inventory`"
+                    .into(),
+            });
+        }
+    }
+
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    Ok(violations.len())
+}

@@ -1,0 +1,374 @@
+//! The rule checkers. Each rule takes a repo-relative path, the lexed
+//! token stream and the allowlist, and appends [`Violation`]s.
+
+use std::fmt;
+
+use crate::config::Config;
+use crate::lexer::{in_cfg_test_mask, Token};
+
+/// One diagnostic: where, which rule, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (`D1`..`D4`, `A1`).
+    pub rule: &'static str,
+    /// Human-readable explanation with the fix.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One candidate finding before the allowlist is consulted.
+struct Finding {
+    rule: &'static str,
+    /// What matched — the identifier or lint path an allowlist entry can
+    /// name to cover it.
+    detail: String,
+    line: usize,
+    message: String,
+}
+
+/// Records a violation unless `lint.toml` has a matching entry; either way
+/// marks the consulted entry as used.
+fn push_unless_allowed(
+    out: &mut Vec<Violation>,
+    used: &mut [bool],
+    config: &Config,
+    path: &str,
+    finding: Finding,
+) {
+    if let Some(i) = config.find_allow(finding.rule, path, &finding.detail) {
+        used[i] = true;
+    } else {
+        out.push(Violation {
+            path: path.to_string(),
+            line: finding.line,
+            rule: finding.rule,
+            message: finding.message,
+        });
+    }
+}
+
+/// The crates whose sources rule D1 governs: everything that must be
+/// seed-deterministic. `net` legitimately uses hash collections (it talks
+/// to a real network and never feeds iteration order into a seeded run).
+pub fn d1_applies(path: &str) -> bool {
+    [
+        "crates/core/",
+        "crates/sim/",
+        "crates/membership/",
+        "crates/graph/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
+}
+
+/// **D1** `no-hash-collections`: `HashMap` / `HashSet` break
+/// seed-determinism (RandomState iteration order). Applies everywhere in
+/// the deterministic crates, including tests — test-only uses get an
+/// explicit allowlist entry instead of a blanket exemption.
+pub fn check_hash_collections(
+    path: &str,
+    tokens: &[Token],
+    config: &Config,
+    used: &mut [bool],
+    out: &mut Vec<Violation>,
+) {
+    if !d1_applies(path) {
+        return;
+    }
+    for t in tokens {
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            let finding = Finding {
+                rule: "D1",
+                detail: t.text.clone(),
+                line: t.line,
+                message: format!(
+                    "{} has seed-dependent iteration order; use BTreeMap/BTreeSet \
+                     or an arena layout (see docs/DETERMINISM.md)",
+                    t.text
+                ),
+            };
+            push_unless_allowed(out, used, config, path, finding);
+        }
+    }
+}
+
+/// **D2** `no-ambient-entropy`: `Instant::now`, `SystemTime`, `thread_rng`
+/// and `from_entropy` make runs unreproducible. Applies to every
+/// first-party file; wall-clock paths (`net` runtime, bench binaries) carry
+/// allowlist entries.
+pub fn check_ambient_entropy(
+    path: &str,
+    tokens: &[Token],
+    config: &Config,
+    used: &mut [bool],
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        let detail = if t.is_ident("thread_rng") || t.is_ident("from_entropy") {
+            Some(t.text.clone())
+        } else if t.is_ident("SystemTime") {
+            Some("SystemTime".to_string())
+        } else if t.is_ident("Instant")
+            && tokens.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|b| b.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|c| c.is_ident("now"))
+        {
+            Some("Instant::now".to_string())
+        } else {
+            None
+        };
+        if let Some(detail) = detail {
+            let message = format!(
+                "{detail} reads ambient time/entropy and breaks reproducibility; \
+                 thread a seeded ChaCha8Rng / simulated clock instead"
+            );
+            let finding = Finding {
+                rule: "D2",
+                detail,
+                line: t.line,
+                message,
+            };
+            push_unless_allowed(out, used, config, path, finding);
+        }
+    }
+}
+
+/// **D3** `no-raw-index-cast`: raw `as u32` / `as usize` in the dense
+/// hot-path files (the `[hot-paths]` list in lint.toml). Test modules are
+/// exempt; shipping code must use `hybridcast_graph::cast`.
+pub fn check_raw_index_casts(
+    path: &str,
+    tokens: &[Token],
+    config: &Config,
+    used: &mut [bool],
+    out: &mut Vec<Violation>,
+) {
+    if !config.hot_paths.iter().any(|p| p == path) {
+        return;
+    }
+    let test_mask = in_cfg_test_mask(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("as") || test_mask[i] {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1) else {
+            continue;
+        };
+        if next.is_ident("u32") || next.is_ident("usize") {
+            let finding = Finding {
+                rule: "D3",
+                detail: format!("as {}", next.text),
+                line: t.line,
+                message: format!(
+                    "raw `as {}` can silently truncate a node index; use \
+                     hybridcast_graph::cast::{{idx, to_u32, checked_u32}}",
+                    next.text
+                ),
+            };
+            push_unless_allowed(out, used, config, path, finding);
+        }
+    }
+}
+
+/// **D4** `forbid-unsafe`: a first-party crate root must carry
+/// `#![forbid(unsafe_code)]`. Called once per crate-root file.
+pub fn check_forbid_unsafe(
+    path: &str,
+    tokens: &[Token],
+    config: &Config,
+    used: &mut [bool],
+    out: &mut Vec<Violation>,
+) {
+    let has_forbid = tokens.windows(5).any(|w| {
+        w[0].is_ident("forbid")
+            && w[1].is_punct('(')
+            && w[2].is_ident("unsafe_code")
+            && w[3].is_punct(')')
+            && w[4].is_punct(']')
+    });
+    if !has_forbid {
+        let finding = Finding {
+            rule: "D4",
+            detail: "forbid(unsafe_code)".to_string(),
+            line: 1,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        };
+        push_unless_allowed(out, used, config, path, finding);
+    }
+}
+
+/// **A1** `allow-attr`: every `#[allow(lint::path)]` in first-party code
+/// needs a justified lint.toml entry — exceptions are reviewed in one
+/// place, not scattered.
+pub fn check_allow_attrs(
+    path: &str,
+    tokens: &[Token],
+    config: &Config,
+    used: &mut [bool],
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_punct('#') && tokens.get(i + 1).is_some_and(|b| b.is_punct('['))) {
+            continue;
+        }
+        let mut j = i + 2;
+        if tokens.get(j).is_some_and(|b| b.is_punct('!')) {
+            // `#![allow(...)]` at crate level counts too.
+            j += 1;
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_ident("allow")) {
+            continue;
+        }
+        // Collect the lint path up to the closing `)`.
+        let mut lint = String::new();
+        let mut k = j + 2;
+        while let Some(tok) = tokens.get(k) {
+            if tok.is_punct(')') {
+                break;
+            }
+            lint.push_str(&tok.text);
+            k += 1;
+        }
+        let message = format!(
+            "#[allow({lint})] has no lint.toml entry; add one with a one-line \
+             justification (rule \"A1\", lint \"{lint}\") or remove the attribute"
+        );
+        let finding = Finding {
+            rule: "A1",
+            detail: lint,
+            line: t.line,
+            message,
+        };
+        push_unless_allowed(out, used, config, path, finding);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_all(path: &str, src: &str, config: &Config) -> Vec<Violation> {
+        let tokens = lex(src);
+        let mut used = vec![false; config.allows.len()];
+        let mut out = Vec::new();
+        check_hash_collections(path, &tokens, config, &mut used, &mut out);
+        check_ambient_entropy(path, &tokens, config, &mut used, &mut out);
+        check_raw_index_casts(path, &tokens, config, &mut used, &mut out);
+        check_allow_attrs(path, &tokens, config, &mut used, &mut out);
+        out
+    }
+
+    fn hot_config() -> Config {
+        Config::parse("[hot-paths]\nfiles = [\n\"crates/core/src/overlay.rs\",\n]\n").unwrap()
+    }
+
+    // Seeded violations for every rule: the acceptance criterion that the
+    // linter "fails with file:line diagnostics on a seeded violation of
+    // each rule".
+
+    #[test]
+    fn d1_flags_seeded_hashmap_with_file_and_line() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32>; }\n";
+        let v = run_all("crates/core/src/x.rs", src, &Config::default());
+        assert!(v.iter().any(|v| v.rule == "D1" && v.line == 1));
+        assert!(v.iter().any(|v| v.rule == "D1" && v.line == 2));
+        assert_eq!(v[0].path, "crates/core/src/x.rs");
+    }
+
+    #[test]
+    fn d1_ignores_non_deterministic_crates_and_strings() {
+        let src = "use std::collections::HashMap;";
+        assert!(run_all("crates/net/src/x.rs", src, &Config::default()).is_empty());
+        let quoted = "fn f() { let s = \"HashMap\"; }";
+        assert!(run_all("crates/core/src/x.rs", quoted, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn d2_flags_each_entropy_source() {
+        let src = "fn f() {\nlet t = Instant::now();\nlet s = SystemTime::now();\nlet r = thread_rng();\nlet g = ChaCha8Rng::from_entropy();\n}";
+        let v = run_all("crates/core/src/x.rs", src, &Config::default());
+        let d2: Vec<_> = v.iter().filter(|v| v.rule == "D2").collect();
+        assert_eq!(d2.len(), 4, "{d2:?}");
+        assert_eq!(d2[0].line, 2);
+    }
+
+    #[test]
+    fn d2_does_not_flag_instant_without_now() {
+        let src = "use std::time::Instant;\nfn f(i: Instant) {}";
+        assert!(run_all("crates/net/src/y.rs", src, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn d3_flags_raw_casts_only_in_hot_paths_and_outside_tests() {
+        let src = "fn f(i: u32) -> usize { i as usize }\n#[cfg(test)]\nmod tests { fn g(i: u32) -> usize { i as usize } }";
+        let v = run_all("crates/core/src/overlay.rs", src, &hot_config());
+        let d3: Vec<_> = v.iter().filter(|v| v.rule == "D3").collect();
+        assert_eq!(d3.len(), 1, "test module must be exempt: {d3:?}");
+        assert_eq!(d3[0].line, 1);
+        // Same source in a non-hot-path file: clean.
+        assert!(run_all("crates/core/src/other.rs", src, &hot_config()).is_empty());
+    }
+
+    #[test]
+    fn d4_flags_missing_forbid() {
+        let tokens = lex("//! docs\npub fn f() {}\n");
+        let config = Config::default();
+        let mut used = Vec::new();
+        let mut out = Vec::new();
+        check_forbid_unsafe("crates/x/src/lib.rs", &tokens, &config, &mut used, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "D4");
+
+        let good = lex("#![forbid(unsafe_code)]\npub fn f() {}\n");
+        let mut out2 = Vec::new();
+        check_forbid_unsafe("crates/x/src/lib.rs", &good, &config, &mut used, &mut out2);
+        assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn a1_flags_unlisted_allow_attributes() {
+        let src = "#[allow(clippy::too_many_arguments)]\nfn f() {}";
+        let v = run_all("crates/sim/src/x.rs", src, &Config::default());
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "A1" && v.message.contains("clippy::too_many_arguments")));
+    }
+
+    #[test]
+    fn allowlist_entries_suppress_and_are_marked_used() {
+        let toml = concat!(
+            "[[allow]]\n",
+            "rule = \"D1\"\n",
+            "path = \"crates/core/src/x.rs\"\n",
+            "ident = \"HashMap\"\n",
+            "reason = \"seeded test\"\n",
+        );
+        let config = Config::parse(toml).unwrap();
+        let tokens = lex("fn f() { let m: HashMap<u32, u32>; }");
+        let mut used = vec![false; 1];
+        let mut out = Vec::new();
+        check_hash_collections(
+            "crates/core/src/x.rs",
+            &tokens,
+            &config,
+            &mut used,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert!(used[0], "the consulted entry must be marked used");
+    }
+}

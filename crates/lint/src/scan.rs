@@ -1,0 +1,150 @@
+//! File discovery and rule orchestration over the workspace.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::lexer::lex;
+use crate::rules::{
+    check_allow_attrs, check_ambient_entropy, check_forbid_unsafe, check_hash_collections,
+    check_raw_index_casts, Violation,
+};
+
+/// Recursively collects every `.rs` file under `dir` (sorted, skipping
+/// `target/`).
+///
+/// # Errors
+///
+/// Returns an error if a directory cannot be read.
+pub fn rust_files_under(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries = fs::read_dir(&d).map_err(|e| format!("cannot read {}: {e}", d.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read entry in {}: {e}", d.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            if path.is_dir() {
+                if name != "target" {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Renders `path` relative to `root` with forward slashes — the form
+/// `lint.toml` entries and diagnostics use.
+pub fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// The first-party source trees the rules govern (repo-relative).
+const FIRST_PARTY_DIRS: &[&str] = &["src", "tests", "examples", "crates"];
+
+/// `true` if this file is a first-party crate root that rule D4 checks for
+/// `#![forbid(unsafe_code)]`.
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs" || (rel.starts_with("crates/") && rel.ends_with("/src/lib.rs"))
+}
+
+/// Runs every rule over the workspace rooted at `root` with the given
+/// allowlist. Returns all violations, including one per unused allowlist
+/// entry — a stale exception is itself a defect.
+///
+/// # Errors
+///
+/// Returns an error if the source tree cannot be read.
+pub fn scan_workspace(root: &Path, config: &Config) -> Result<Vec<Violation>, String> {
+    let mut out = Vec::new();
+    let mut used = vec![false; config.allows.len()];
+
+    for dir in FIRST_PARTY_DIRS {
+        let full = root.join(dir);
+        if !full.is_dir() {
+            continue;
+        }
+        for file in rust_files_under(&full)? {
+            let rel = relative(root, &file);
+            let source = fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            let tokens = lex(&source);
+            check_hash_collections(&rel, &tokens, config, &mut used, &mut out);
+            check_ambient_entropy(&rel, &tokens, config, &mut used, &mut out);
+            check_raw_index_casts(&rel, &tokens, config, &mut used, &mut out);
+            check_allow_attrs(&rel, &tokens, config, &mut used, &mut out);
+            if is_crate_root(&rel) {
+                check_forbid_unsafe(&rel, &tokens, config, &mut used, &mut out);
+            }
+        }
+    }
+
+    // D3's hot-path list must point at real files: a renamed engine file
+    // silently dropping out of coverage would be invisible otherwise.
+    for hot in &config.hot_paths {
+        if !root.join(hot).is_file() {
+            out.push(Violation {
+                path: "lint.toml".into(),
+                line: 1,
+                rule: "D3",
+                message: format!("[hot-paths] lists `{hot}`, which does not exist"),
+            });
+        }
+    }
+
+    for (entry, used) in config.allows.iter().zip(used.iter()) {
+        if !used {
+            out.push(Violation {
+                path: "lint.toml".into(),
+                line: entry.line,
+                rule: "A1",
+                message: format!(
+                    "allowlist entry ({} {} {}) matched nothing — remove the stale exception",
+                    entry.rule,
+                    entry.path,
+                    entry.detail.as_deref().unwrap_or("*"),
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_roots_are_recognised() {
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/core/src/lib.rs"));
+        assert!(!is_crate_root("crates/core/src/engine.rs"));
+        assert!(!is_crate_root("vendor/rand/src/lib.rs"));
+    }
+
+    #[test]
+    fn unused_allowlist_entries_are_reported() {
+        let toml = concat!(
+            "[[allow]]\n",
+            "rule = \"D1\"\n",
+            "path = \"crates/core/src/never.rs\"\n",
+            "reason = \"stale\"\n",
+        );
+        let config = Config::parse(toml).unwrap();
+        // Scan an empty temp root: the entry can't match anything.
+        let dir = std::env::temp_dir().join("hybridcast-lint-empty-root");
+        fs::create_dir_all(&dir).unwrap();
+        let v = scan_workspace(&dir, &config).unwrap();
+        assert!(v.iter().any(|v| v.rule == "A1" && v.path == "lint.toml"));
+    }
+}

@@ -428,7 +428,6 @@ impl<T: Transport> NodeWorker<T> {
     }
 }
 
-#[allow(clippy::single_component_path_imports)]
 #[cfg(test)]
 mod tests {
     use super::*;

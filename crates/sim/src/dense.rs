@@ -37,6 +37,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use hybridcast_graph::cast::{idx, to_u32};
 use hybridcast_graph::NodeId;
 use hybridcast_membership::proximity::{rank_by_ring_distance_into, ring_neighbors};
 
@@ -59,15 +60,15 @@ impl SlotBits {
     }
 
     fn get(&self, bit: u32) -> bool {
-        self.words[bit as usize / 64] & (1 << (bit as usize % 64)) != 0
+        self.words[idx(bit) / 64] & (1 << (idx(bit) % 64)) != 0
     }
 
     fn set(&mut self, bit: u32) {
-        self.words[bit as usize / 64] |= 1 << (bit as usize % 64);
+        self.words[idx(bit) / 64] |= 1 << (idx(bit) % 64);
     }
 
     fn clear(&mut self, bit: u32) {
-        self.words[bit as usize / 64] &= !(1 << (bit as usize % 64));
+        self.words[idx(bit) / 64] &= !(1 << (idx(bit) % 64));
     }
 }
 
@@ -274,7 +275,7 @@ impl DenseSimNetwork {
     pub fn live_ids(&self) -> Vec<NodeId> {
         self.by_id
             .iter()
-            .map(|&slot| NodeId::new(self.ids[slot as usize]))
+            .map(|&slot| NodeId::new(self.ids[idx(slot)]))
             .collect()
     }
 
@@ -286,13 +287,13 @@ impl DenseSimNetwork {
     /// The node's position on the primary identifier ring, if it is alive.
     pub fn ring_position(&self, id: NodeId) -> Option<u64> {
         self.lookup_live(id.as_u64())
-            .map(|slot| self.positions[slot as usize * self.rings])
+            .map(|slot| self.positions[idx(slot) * self.rings])
     }
 
     /// The cycle at which a live node joined the network.
     pub fn joined_at_cycle(&self, id: NodeId) -> Option<u64> {
         self.lookup_live(id.as_u64())
-            .map(|slot| self.joined[slot as usize])
+            .map(|slot| self.joined[idx(slot)])
     }
 
     /// The node's current Cyclon view (r-links), in view order.
@@ -300,8 +301,8 @@ impl DenseSimNetwork {
         let Some(slot) = self.lookup_live(id.as_u64()) else {
             return Vec::new();
         };
-        let base = slot as usize * self.cyc;
-        let len = self.cy_len[slot as usize] as usize;
+        let base = idx(slot) * self.cyc;
+        let len = idx(self.cy_len[idx(slot)]);
         self.cy_id[base..base + len]
             .iter()
             .map(|&raw| NodeId::new(raw))
@@ -318,7 +319,7 @@ impl DenseSimNetwork {
     /// live index.
     fn lookup_live(&self, id: u64) -> Option<u32> {
         self.by_id
-            .binary_search_by(|&slot| self.ids[slot as usize].cmp(&id))
+            .binary_search_by(|&slot| self.ids[idx(slot)].cmp(&id))
             .ok()
             .map(|i| self.by_id[i])
     }
@@ -351,7 +352,7 @@ impl DenseSimNetwork {
                 slot
             }
         };
-        let s = slot as usize;
+        let s = idx(slot);
         self.ids[s] = id;
         self.joined[s] = self.cycle;
         let pos_base = s * self.rings;
@@ -365,7 +366,7 @@ impl DenseSimNetwork {
 
         if let Some(contact) = introducer {
             if let Some(cslot) = self.lookup_live(contact.as_u64()) {
-                let cs = cslot as usize;
+                let cs = idx(cslot);
                 self.cy_id[s * self.cyc] = contact.as_u64();
                 self.cy_age[s * self.cyc] = 0;
                 let dst = s * self.cyc * self.rings;
@@ -387,7 +388,7 @@ impl DenseSimNetwork {
     pub fn kill_node(&mut self, id: NodeId) -> bool {
         match self
             .by_id
-            .binary_search_by(|&slot| self.ids[slot as usize].cmp(&id.as_u64()))
+            .binary_search_by(|&slot| self.ids[idx(slot)].cmp(&id.as_u64()))
         {
             Ok(i) => {
                 let slot = self.by_id.remove(i);
@@ -404,7 +405,7 @@ impl DenseSimNetwork {
     /// id-ordered live list).
     pub fn random_live_node(&mut self) -> Option<NodeId> {
         let slot = self.by_id.choose(&mut self.rng).copied()?;
-        Some(NodeId::new(self.ids[slot as usize]))
+        Some(NodeId::new(self.ids[idx(slot)]))
     }
 
     /// Runs `count` gossip cycles (epoch steps).
@@ -427,7 +428,7 @@ impl DenseSimNetwork {
             if !self.live.get(slot) {
                 continue;
             }
-            let my_id = self.ids[slot as usize];
+            let my_id = self.ids[idx(slot)];
             self.cyclon_gossip(slot, my_id, &mut scratch);
             for ring in 0..self.vic_rings {
                 self.vicinity_gossip(slot, my_id, ring, &mut scratch);
@@ -440,28 +441,28 @@ impl DenseSimNetwork {
 
     /// Returns `true` if the slot's Cyclon view contains `id`.
     fn cy_contains(&self, slot: u32, id: u64) -> bool {
-        let base = slot as usize * self.cyc;
-        let len = self.cy_len[slot as usize] as usize;
+        let base = idx(slot) * self.cyc;
+        let len = idx(self.cy_len[idx(slot)]);
         self.cy_id[base..base + len].contains(&id)
     }
 
     /// Appends a descriptor to the slot's Cyclon view (caller checks room).
     fn cy_push(&mut self, slot: u32, id: u64, age: u32, profile: &[u64]) {
-        let s = slot as usize;
-        let len = self.cy_len[s] as usize;
+        let s = idx(slot);
+        let len = idx(self.cy_len[s]);
         debug_assert!(len < self.cyc);
         self.cy_id[s * self.cyc + len] = id;
         self.cy_age[s * self.cyc + len] = age;
         let dst = (s * self.cyc + len) * self.rings;
         self.cy_pos[dst..dst + self.rings].copy_from_slice(profile);
-        self.cy_len[s] = (len + 1) as u32;
+        self.cy_len[s] = to_u32(len + 1);
     }
 
     /// Removes the view entry at position `pos`, shifting later entries
     /// left (the arena equivalent of `Vec::remove`, preserving order).
     fn cy_remove_at(&mut self, slot: u32, pos: usize) {
-        let s = slot as usize;
-        let len = self.cy_len[s] as usize;
+        let s = idx(slot);
+        let len = idx(self.cy_len[s]);
         debug_assert!(pos < len);
         let base = s * self.cyc;
         self.cy_id
@@ -473,13 +474,13 @@ impl DenseSimNetwork {
             pbase + (pos + 1) * self.rings..pbase + len * self.rings,
             pbase + pos * self.rings,
         );
-        self.cy_len[s] = (len - 1) as u32;
+        self.cy_len[s] = to_u32(len - 1);
     }
 
     /// Removes the descriptor for `id` if present. Returns `true` on removal.
     fn cy_remove_id(&mut self, slot: u32, id: u64) -> bool {
-        let base = slot as usize * self.cyc;
-        let len = self.cy_len[slot as usize] as usize;
+        let base = idx(slot) * self.cyc;
+        let len = idx(self.cy_len[idx(slot)]);
         match self.cy_id[base..base + len].iter().position(|&e| e == id) {
             Some(pos) => {
                 self.cy_remove_at(slot, pos);
@@ -495,8 +496,8 @@ impl DenseSimNetwork {
     /// handle_shuffle_request, handle_shuffle_response}`.
     fn cyclon_gossip(&mut self, slot: u32, my_id: u64, s: &mut EpochScratch) {
         let rings = self.rings;
-        let base = slot as usize * self.cyc;
-        let len = self.cy_len[slot as usize] as usize;
+        let base = idx(slot) * self.cyc;
+        let len = idx(self.cy_len[idx(slot)]);
 
         // begin_cycle: age every entry by one (saturating).
         for age in &mut self.cy_age[base..base + len] {
@@ -526,7 +527,7 @@ impl DenseSimNetwork {
         s.sent.clear();
         s.sent_prof.clear();
         for i in 0..len {
-            let pofs = s.sent_prof.len() as u32;
+            let pofs = to_u32(s.sent_prof.len());
             let src = (base + i) * rings;
             s.sent_prof
                 .extend_from_slice(&self.cy_pos[src..src + rings]);
@@ -536,8 +537,8 @@ impl DenseSimNetwork {
         s.sent.shuffle(&mut self.rng);
         s.sent.truncate(self.shuf.saturating_sub(1));
         {
-            let pofs = s.sent_prof.len() as u32;
-            let pos_base = slot as usize * rings;
+            let pofs = to_u32(s.sent_prof.len());
+            let pos_base = idx(slot) * rings;
             s.sent_prof
                 .extend_from_slice(&self.positions[pos_base..pos_base + rings]);
             s.sent.push((my_id, 0, pofs));
@@ -548,8 +549,8 @@ impl DenseSimNetwork {
                 // handle_shuffle_request: the reply is `shuf` random entries
                 // of the peer's view (never the initiator), captured before
                 // the peer merges the request.
-                let pbase = peer as usize * self.cyc;
-                let plen = self.cy_len[peer as usize] as usize;
+                let pbase = idx(peer) * self.cyc;
+                let plen = idx(self.cy_len[idx(peer)]);
                 s.reply.clear();
                 s.reply_prof.clear();
                 for i in 0..plen {
@@ -557,7 +558,7 @@ impl DenseSimNetwork {
                     if id == my_id {
                         continue;
                     }
-                    let pofs = s.reply_prof.len() as u32;
+                    let pofs = to_u32(s.reply_prof.len());
                     let src = (pbase + i) * rings;
                     s.reply_prof
                         .extend_from_slice(&self.cy_pos[src..src + rings]);
@@ -598,15 +599,15 @@ impl DenseSimNetwork {
         sent: &[CyDesc],
         replaceable: &mut Vec<u64>,
     ) {
-        let self_id = self.ids[slot as usize];
+        let self_id = self.ids[idx(slot)];
         replaceable.clear();
         replaceable.extend(sent.iter().map(|d| d.0).filter(|&id| id != self_id));
         for &(id, age, pofs) in received {
             if id == self_id || self.cy_contains(slot, id) {
                 continue;
             }
-            let profile = &received_prof[pofs as usize..pofs as usize + self.rings];
-            if (self.cy_len[slot as usize] as usize) < self.cyc {
+            let profile = &received_prof[idx(pofs)..idx(pofs) + self.rings];
+            if (idx(self.cy_len[idx(slot)])) < self.cyc {
                 self.cy_push(slot, id, age, profile);
                 continue;
             }
@@ -627,11 +628,11 @@ impl DenseSimNetwork {
 
     /// Base offset of a slot's Vicinity view for one ring.
     fn vi_base(&self, slot: u32, ring: usize) -> usize {
-        (slot as usize * self.vic_rings + ring) * self.vic
+        (idx(slot) * self.vic_rings + ring) * self.vic
     }
 
     fn vi_view_len(&self, slot: u32, ring: usize) -> usize {
-        self.vi_len[slot as usize * self.vic_rings + ring] as usize
+        idx(self.vi_len[idx(slot) * self.vic_rings + ring])
     }
 
     /// The ring key of `id` in the slot's view, if present.
@@ -655,7 +656,7 @@ impl DenseSimNetwork {
                 .copy_within(base + pos + 1..base + len, base + pos);
             self.vi_key
                 .copy_within(base + pos + 1..base + len, base + pos);
-            self.vi_len[slot as usize * self.vic_rings + ring] = (len - 1) as u32;
+            self.vi_len[idx(slot) * self.vic_rings + ring] = to_u32(len - 1);
         }
     }
 
@@ -664,8 +665,8 @@ impl DenseSimNetwork {
     /// position on that ring).
     fn ring_candidates_into(&self, slot: u32, ring: usize, out: &mut Vec<ViDesc>) {
         out.clear();
-        let base = slot as usize * self.cyc;
-        let len = self.cy_len[slot as usize] as usize;
+        let base = idx(slot) * self.cyc;
+        let len = idx(self.cy_len[idx(slot)]);
         for i in 0..len {
             let key = self.cy_pos[(base + i) * self.rings + ring];
             out.push((self.cy_id[base + i], self.cy_age[base + i], key));
@@ -730,8 +731,8 @@ impl DenseSimNetwork {
         rank_taken: &mut Vec<bool>,
         rank_out: &mut Vec<(u64, NodeId, u32)>,
     ) {
-        let self_id = self.ids[slot as usize];
-        let own_key = self.positions[slot as usize * self.rings + ring];
+        let self_id = self.ids[idx(slot)];
+        let own_key = self.positions[idx(slot) * self.rings + ring];
 
         fn pool_add(pool: &mut Vec<ViDesc>, self_id: u64, d: ViDesc) {
             if d.0 == self_id {
@@ -781,7 +782,7 @@ impl DenseSimNetwork {
             self.vi_age[base + i] = age;
             self.vi_key[base + i] = key;
         }
-        self.vi_len[slot as usize * self.vic_rings + ring] = take as u32;
+        self.vi_len[idx(slot) * self.vic_rings + ring] = to_u32(take);
     }
 
     /// One Vicinity exchange on ring `ring` initiated by `slot` — the arena
@@ -813,7 +814,7 @@ impl DenseSimNetwork {
         // initiate_exchange: the oldest view entry, or — while the view is
         // still empty — a uniformly random Cyclon candidate (one
         // `gen_range` draw, exactly like the id-keyed runtime).
-        let own_key = self.positions[slot as usize * self.rings + ring];
+        let own_key = self.positions[idx(slot) * self.rings + ring];
         let target = if len > 0 {
             let mut best = 0usize;
             for i in 1..len {
@@ -840,8 +841,8 @@ impl DenseSimNetwork {
 
         match self.lookup_live(target) {
             Some(peer) => {
-                let peer_id = self.ids[peer as usize];
-                let peer_key = self.positions[peer as usize * self.rings + ring];
+                let peer_id = self.ids[idx(peer)];
+                let peer_key = self.positions[idx(peer) * self.rings + ring];
                 self.ring_candidates_into(peer, ring, cand_peer);
                 // handle_exchange_request: the reply targets the initiator's
                 // neighbourhood and is captured before the peer merges.
@@ -873,7 +874,7 @@ impl DenseSimNetwork {
     fn ring_neighbors_of(&self, slot: u32, ring: usize) -> (Option<NodeId>, Option<NodeId>) {
         let base = self.vi_base(slot, ring);
         let len = self.vi_view_len(slot, ring);
-        let own_key = self.positions[slot as usize * self.rings + ring];
+        let own_key = self.positions[idx(slot) * self.rings + ring];
         let pairs: Vec<(u64, NodeId)> = (0..len)
             .map(|i| (self.vi_key[base + i], NodeId::new(self.vi_id[base + i])))
             .collect();
@@ -899,9 +900,9 @@ impl DenseSimNetwork {
     pub fn overlay_snapshot(&self) -> OverlaySnapshot {
         let mut entries = BTreeMap::new();
         for &slot in &self.by_id {
-            let s = slot as usize;
+            let s = idx(slot);
             let base = s * self.cyc;
-            let len = self.cy_len[s] as usize;
+            let len = idx(self.cy_len[s]);
             let r_links = self.cy_id[base..base + len]
                 .iter()
                 .map(|&raw| NodeId::new(raw))
@@ -934,10 +935,10 @@ impl DenseSimNetwork {
         r_offsets.push(0);
         d_offsets.push(0);
         for &slot in &self.by_id {
-            let s = slot as usize;
+            let s = idx(slot);
             ids.push(NodeId::new(self.ids[s]));
             let base = s * self.cyc;
-            let len = self.cy_len[s] as usize;
+            let len = idx(self.cy_len[s]);
             r_targets.extend(
                 self.cy_id[base..base + len]
                     .iter()

@@ -1,0 +1,186 @@
+//! Dynamic enforcement of the scratch-reuse contract: a warm run of every
+//! dense engine hot path performs **zero heap allocations**.
+//!
+//! This binary installs the counting allocator from `hybridcast-testalloc`
+//! as its global allocator; each test runs an engine once cold (growing the
+//! scratch buffers to their steady-state capacity), then re-runs the exact
+//! same seeded workload and asserts the warm run never touched the
+//! allocator. Together with the static rules in `crates/lint`, this pins
+//! the contract ARCHITECTURE.md and docs/DETERMINISM.md document.
+//!
+//! The warm and cold runs use the same seed so the warm run's buffer demand
+//! is identical to the capacity the cold run established — any allocation
+//! observed is a genuine hot-loop regression, not workload variance.
+
+use hybridcast::core::async_engine::{
+    disseminate_async_dense_stats, AsyncConfig, DenseAsyncScratch,
+};
+use hybridcast::core::engine::{disseminate_dense_stats, DenseScratch};
+use hybridcast::core::netmodel::{DelayModel, LossModel, NetModel};
+use hybridcast::core::overlay::DenseOverlay;
+use hybridcast::core::protocols::DenseSelector;
+use hybridcast::core::pull::{disseminate_push_pull_dense_stats, DensePullScratch, PullConfig};
+use hybridcast::graph::NodeId;
+use hybridcast::sim::{DenseSimNetwork, SimConfig};
+use hybridcast_testalloc::{measure, CountingAlloc};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const NODES: usize = 400;
+
+fn warmed_overlay(seed: u64) -> (DenseOverlay, NodeId) {
+    let mut net = DenseSimNetwork::new(
+        SimConfig {
+            nodes: NODES,
+            ..SimConfig::default()
+        },
+        seed,
+    );
+    net.run_cycles(60);
+    let overlay = DenseOverlay::from_dense_sim(&net);
+    let origin = overlay.node_id(overlay.live_indices()[0]);
+    (overlay, origin)
+}
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn warm_sync_dissemination_is_allocation_free() {
+    let (overlay, origin) = warmed_overlay(1);
+    let selector = DenseSelector::ringcast(3);
+    let mut scratch = DenseScratch::new();
+
+    // The cold run is measured too, as a self-test of the counting
+    // allocator: it must observe the scratch buffers growing. A counter
+    // that sees nothing here would make every zero assertion vacuous.
+    let (cold, cold_stats) =
+        measure(|| disseminate_dense_stats(&overlay, &selector, origin, &mut rng(7), &mut scratch));
+    assert!(
+        cold_stats.allocations > 0,
+        "the counting allocator must observe the cold run's scratch growth"
+    );
+    let (warm, stats) =
+        measure(|| disseminate_dense_stats(&overlay, &selector, origin, &mut rng(7), &mut scratch));
+
+    assert_eq!(cold, warm, "same seed must reproduce the same run");
+    assert_eq!(warm.reached, warm.population, "RingCast completes");
+    assert!(
+        stats.is_allocation_free(),
+        "warm sync dissemination allocated: {stats:?}"
+    );
+}
+
+#[test]
+fn warm_async_dissemination_is_allocation_free() {
+    let (overlay, origin) = warmed_overlay(2);
+    let selector = DenseSelector::ringcast(3);
+    // Exercise the full adversarial model path: heavy-tailed delays plus a
+    // Gilbert–Elliott loss chain, the worst case for hidden allocations.
+    let config = AsyncConfig {
+        run_membership_gossip: false,
+        net: NetModel {
+            delay: DelayModel::LogNormal {
+                mu: 0.0,
+                sigma: 1.25,
+            },
+            loss: LossModel::GilbertElliott {
+                loss_good: 0.01,
+                loss_bad: 0.4,
+                p_enter_bad: 0.05,
+                p_exit_bad: 0.3,
+            },
+            ..NetModel::default()
+        },
+        ..AsyncConfig::default()
+    };
+    let mut scratch = DenseAsyncScratch::new();
+
+    let cold = disseminate_async_dense_stats(
+        &overlay,
+        &selector,
+        origin,
+        &config,
+        &mut rng(9),
+        &mut scratch,
+    );
+    let (warm, stats) = measure(|| {
+        disseminate_async_dense_stats(
+            &overlay,
+            &selector,
+            origin,
+            &config,
+            &mut rng(9),
+            &mut scratch,
+        )
+    });
+
+    assert_eq!(cold, warm, "same seed must reproduce the same run");
+    assert!(
+        stats.is_allocation_free(),
+        "warm async dissemination allocated: {stats:?}"
+    );
+}
+
+#[test]
+fn warm_push_pull_dissemination_is_allocation_free() {
+    let (overlay, origin) = warmed_overlay(3);
+    // RandCast at fanout 2 leaves misses for the pull phase to close, so
+    // the pull rounds actually execute.
+    let selector = DenseSelector::randcast(2);
+    let config = PullConfig {
+        fanout: 2,
+        max_rounds: 30,
+        ..PullConfig::default()
+    };
+    let mut scratch = DensePullScratch::new();
+
+    let cold = disseminate_push_pull_dense_stats(
+        &overlay,
+        &selector,
+        origin,
+        &config,
+        &mut rng(11),
+        &mut scratch,
+    );
+    assert!(cold.pull_rounds > 0, "the pull phase must actually run");
+    let (warm, stats) = measure(|| {
+        disseminate_push_pull_dense_stats(
+            &overlay,
+            &selector,
+            origin,
+            &config,
+            &mut rng(11),
+            &mut scratch,
+        )
+    });
+
+    assert_eq!(cold, warm, "same seed must reproduce the same run");
+    assert!(
+        stats.is_allocation_free(),
+        "warm push-pull dissemination allocated: {stats:?}"
+    );
+}
+
+#[test]
+fn warm_dense_sim_epoch_is_allocation_free() {
+    let mut net = DenseSimNetwork::new(
+        SimConfig {
+            nodes: NODES,
+            ..SimConfig::default()
+        },
+        4,
+    );
+    // Cold phase: grow every view arena and scratch buffer to steady state.
+    net.run_cycles(30);
+
+    let (_, stats) = measure(|| net.run_cycles(5));
+    assert!(
+        stats.is_allocation_free(),
+        "warm DenseSimNetwork epoch allocated: {stats:?}"
+    );
+}
