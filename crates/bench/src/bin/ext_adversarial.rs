@@ -19,8 +19,15 @@
 //! the rows are bit-identical to the dense arm, the differential the
 //! property suite pins.
 
+//! `--trace <path>` streams both sweeps' structured event records —
+//! including the scripted `PartitionOpen`/`PartitionHeal` timelines — as
+//! JSON Lines, `--profile` prints the wall-clock stage breakdown (one
+//! stage group per sweep), and `--quiet` silences the progress heartbeat;
+//! none of the three changes a single result byte.
+
 use std::process::ExitCode;
 
+use hybridcast_bench::probing::ProbeOptions;
 use hybridcast_bench::{figures, output, Args, ExperimentParams};
 
 fn main() -> ExitCode {
@@ -62,8 +69,24 @@ fn run() -> Result<(), String> {
         params.nodes, params.runs, params.engine
     );
 
+    let probing = ProbeOptions::from_args(&args, &params)?;
     eprintln!("# sweep 1: i.i.d. loss rates {loss_rates:?}");
-    let loss_rows = figures::adversarial_loss_sweep(&params, &loss_rates);
+    eprintln!("# sweep 2: bisection at t={start}, durations {durations:?}");
+    let (loss_rows, part_rows) = if probing.active() {
+        probing.run_probed(|mut probe, profiler| {
+            let loss =
+                figures::adversarial_loss_sweep_probed(&params, &loss_rates, &mut probe, profiler);
+            let partitions = figures::adversarial_partition_sweep_probed(
+                &params, &durations, start, &mut probe, profiler,
+            );
+            (loss, partitions)
+        })?
+    } else {
+        (
+            figures::adversarial_loss_sweep(&params, &loss_rates),
+            figures::adversarial_partition_sweep(&params, &durations, start),
+        )
+    };
     println!(
         "{:<12} {:>12} {:>14} {:>14} {:>10} {:>18}",
         "loss_rate", "hit_ratio", "messages", "dropped", "complete", "completion_time"
@@ -83,8 +106,6 @@ fn run() -> Result<(), String> {
         );
     }
 
-    eprintln!("# sweep 2: bisection at t={start}, durations {durations:?}");
-    let part_rows = figures::adversarial_partition_sweep(&params, &durations, start);
     println!(
         "{:<12} {:>12} {:>16} {:>11} {:>16}",
         "duration", "hit_ratio", "dropped_at_cut", "recovered", "recovery_time"

@@ -4,10 +4,14 @@
 //!
 //! Run with `--paper` for the paper's full scale (10,000 nodes, 100 runs per
 //! fanout); the default is a quick 2,000-node sweep. `--json <path>` dumps
-//! the raw table.
+//! the raw table. `--trace <path>` streams the structured event record as
+//! JSON Lines (fold it back with `trace_summary`), `--profile` prints the
+//! wall-clock stage breakdown, and `--quiet` silences the progress
+//! heartbeat — none of the three changes a single result byte.
 
 use std::process::ExitCode;
 
+use hybridcast_bench::probing::ProbeOptions;
 use hybridcast_bench::{figures, output, Args, ExperimentParams};
 
 fn main() -> ExitCode {
@@ -27,7 +31,14 @@ fn run() -> Result<(), String> {
         "# fig06: static failure-free, {} nodes, {} runs/fanout, fanouts {:?}",
         params.nodes, params.runs, params.fanouts
     );
-    let table = figures::static_effectiveness(&params);
+    let probing = ProbeOptions::from_args(&args, &params)?;
+    let table = if probing.active() {
+        probing.run_probed(|mut probe, profiler| {
+            figures::static_effectiveness_probed(&params, &mut probe, profiler)
+        })?
+    } else {
+        figures::static_effectiveness(&params)
+    };
     print!("{}", output::render_effectiveness(&table));
     if let Some(path) = args.value("json") {
         output::write_json(std::path::Path::new(path), &table).map_err(|e| e.to_string())?;

@@ -1,9 +1,15 @@
 //! Reproduces **Figure 11** of the paper: dissemination effectiveness as a
 //! function of the fanout in churn steady state (0.2 % of the nodes replaced
 //! per cycle, the rate the paper derives from the Gnutella traces).
+//!
+//! `--trace <path>` streams the structured event record — churn
+//! `Join`/`Leave` events included — as JSON Lines, `--profile` prints the
+//! wall-clock stage breakdown, and `--quiet` silences the progress
+//! heartbeat; none of the three changes a single result byte.
 
 use std::process::ExitCode;
 
+use hybridcast_bench::probing::ProbeOptions;
 use hybridcast_bench::{figures, output, Args, ExperimentParams};
 
 fn main() -> ExitCode {
@@ -25,7 +31,14 @@ fn run() -> Result<(), String> {
         params.nodes,
         params.runs
     );
-    let (table, cycles) = figures::churn_effectiveness(&params);
+    let probing = ProbeOptions::from_args(&args, &params)?;
+    let (table, cycles) = if probing.active() {
+        probing.run_probed(|mut probe, profiler| {
+            figures::churn_effectiveness_probed(&params, &mut probe, profiler)
+        })?
+    } else {
+        figures::churn_effectiveness(&params)
+    };
     eprintln!("# churn warm-up took {cycles} cycles");
     print!("{}", output::render_effectiveness(&table));
     if let Some(path) = args.value("json") {

@@ -9,6 +9,13 @@
 //! and `--async`, which additionally pushes one message through the dense
 //! event-driven latency-model engine over the same frozen overlay and gates
 //! on its coverage (the CI job passes it).
+//!
+//! Each gate line also reports the process's peak resident set size
+//! (`VmHWM` from `/proc/self/status`, Linux only) so scale regressions
+//! show up as memory numbers, not just time; the async gate additionally
+//! reports the event-heap high-water mark — the largest in-flight message
+//! backlog of the run, the quantity that bounds the latency engine's
+//! memory at the million-node scale.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -110,7 +117,7 @@ fn run() -> Result<(), String> {
 
     println!(
         "nodes={} cycles={} churned={} boot={:.2}s gossip={:.2}s ({:.1} ms/cycle) export={:.2}s \
-         dissemination={:.3}s hops={} messages={}",
+         dissemination={:.3}s hops={} messages={} peak_rss={}",
         nodes,
         cycles,
         driver.removed(),
@@ -121,6 +128,7 @@ fn run() -> Result<(), String> {
         dissemination.as_secs_f64(),
         report.last_hop,
         report.total_messages(),
+        render_rss(),
     );
 
     if args.flag("async") {
@@ -154,7 +162,8 @@ fn run() -> Result<(), String> {
             ));
         }
         println!(
-            "async: dissemination={:.3}s reached={}/{} messages={} completion_time={}",
+            "async: dissemination={:.3}s reached={}/{} messages={} completion_time={} \
+             event_heap_high_water={} peak_rss={}",
             async_time.as_secs_f64(),
             async_report.reached,
             async_report.population,
@@ -163,7 +172,17 @@ fn run() -> Result<(), String> {
                 .completion_time
                 .map(|t| format!("{t:.1}"))
                 .unwrap_or_else(|| "-".to_owned()),
+            async_scratch.event_heap_high_water(),
+            render_rss(),
         );
     }
     Ok(())
+}
+
+/// Peak RSS (`VmHWM`) as a human-readable figure, `-` where
+/// `/proc/self/status` is unavailable.
+fn render_rss() -> String {
+    hybridcast_obs::mem::peak_rss_kb()
+        .map(|kb| format!("{:.1}MB", kb as f64 / 1024.0))
+        .unwrap_or_else(|| "-".to_owned())
 }

@@ -12,8 +12,9 @@ use serde::{Deserialize, Serialize};
 
 use hybridcast_core::async_engine::{disseminate_async_frozen, AsyncConfig, AsyncReport};
 use hybridcast_core::experiment::{
-    random_origins, run_disseminations, run_seed, run_seeded_async, run_seeded_disseminations,
-    run_seeded_push_pulls, AggregateStats,
+    random_origins, run_disseminations, run_seed, run_seeded_async, run_seeded_async_probed,
+    run_seeded_disseminations, run_seeded_disseminations_probed, run_seeded_push_pulls,
+    AggregateStats,
 };
 use hybridcast_core::metrics::DisseminationReport;
 use hybridcast_core::netmodel::{DelayModel, LossModel, NetModel, PartitionEvent};
@@ -21,11 +22,13 @@ use hybridcast_core::overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOve
 use hybridcast_core::protocols::{DenseSelector, GossipTargetSelector, RingCast};
 use hybridcast_core::pull::PushPullReport;
 use hybridcast_graph::{builders, harary, NodeId};
+use hybridcast_obs::{Heartbeat, Probe, ProtocolKind, StageProfiler, TraceEvent};
 use hybridcast_sim::{Network, SimConfig};
 
 use crate::scenario::{
-    catastrophic_overlay, churn_overlay_with_cycles, churn_scenario, dense_overlay,
-    static_dense_overlay, static_overlay, EngineKind, ExperimentParams,
+    catastrophic_overlay, churn_dense_overlay_probed, churn_overlay_with_cycles, churn_scenario,
+    dense_overlay, static_dense_overlay, static_dense_overlay_probed, static_overlay, EngineKind,
+    ExperimentParams,
 };
 
 /// The two protocols every figure compares side by side.
@@ -741,45 +744,53 @@ pub fn adversarial_loss_sweep(
         .iter()
         .enumerate()
         .map(|(tag, &rate)| {
-            let config = AsyncConfig {
-                run_membership_gossip: false,
-                net: NetModel {
-                    loss: if rate > 0.0 {
-                        LossModel::Iid { rate }
-                    } else {
-                        LossModel::None
-                    },
-                    ..NetModel::default()
-                },
-                ..AsyncConfig::default()
-            };
             let reports = run_adversarial_async(
                 params,
                 &overlay,
                 fanout,
-                &config,
+                &loss_config(rate),
                 run_seed(params.seed, tag as u64),
             );
-            let runs = reports.len();
-            let completed: Vec<f64> = reports.iter().filter_map(|r| r.completion_time).collect();
-            AdversarialLossRow {
-                loss_rate: rate,
-                mean_hit_ratio: reports.iter().map(AsyncReport::hit_ratio).sum::<f64>()
-                    / runs as f64,
-                mean_messages: reports.iter().map(|r| r.messages_sent as f64).sum::<f64>()
-                    / runs as f64,
-                mean_dropped_loss: reports.iter().map(|r| r.dropped_loss as f64).sum::<f64>()
-                    / runs as f64,
-                completed_runs: completed.len(),
-                mean_completion_time: if completed.is_empty() {
-                    None
-                } else {
-                    Some(completed.iter().sum::<f64>() / completed.len() as f64)
-                },
-                runs,
-            }
+            loss_row(rate, &reports)
         })
         .collect()
+}
+
+/// The async configuration of one loss-sweep arm: i.i.d. per-message loss
+/// at `rate` (exactly [`LossModel::None`] at 0.0, the unmodelled baseline).
+fn loss_config(rate: f64) -> AsyncConfig {
+    AsyncConfig {
+        run_membership_gossip: false,
+        net: NetModel {
+            loss: if rate > 0.0 {
+                LossModel::Iid { rate }
+            } else {
+                LossModel::None
+            },
+            ..NetModel::default()
+        },
+        ..AsyncConfig::default()
+    }
+}
+
+/// Folds one loss-sweep arm's reports into its result row. Shared by the
+/// plain and probed sweeps so the two can never aggregate differently.
+fn loss_row(rate: f64, reports: &[AsyncReport]) -> AdversarialLossRow {
+    let runs = reports.len();
+    let completed: Vec<f64> = reports.iter().filter_map(|r| r.completion_time).collect();
+    AdversarialLossRow {
+        loss_rate: rate,
+        mean_hit_ratio: reports.iter().map(AsyncReport::hit_ratio).sum::<f64>() / runs as f64,
+        mean_messages: reports.iter().map(|r| r.messages_sent as f64).sum::<f64>() / runs as f64,
+        mean_dropped_loss: reports.iter().map(|r| r.dropped_loss as f64).sum::<f64>() / runs as f64,
+        completed_runs: completed.len(),
+        mean_completion_time: if completed.is_empty() {
+            None
+        } else {
+            Some(completed.iter().sum::<f64>() / completed.len() as f64)
+        },
+        runs,
+    }
 }
 
 /// **Adversarial extension (partitions)**: re-convergence of RingCast after
@@ -803,54 +814,259 @@ pub fn adversarial_partition_sweep(
         .iter()
         .enumerate()
         .map(|(tag, &duration)| {
-            let partitions = if duration > 0.0 {
-                vec![PartitionEvent::bisection(start, duration, 0x00C0_FFEE)]
-            } else {
-                Vec::new()
-            };
-            let config = AsyncConfig {
-                run_membership_gossip: false,
-                net: NetModel {
-                    delay: DelayModel::LogNormal {
-                        mu: 0.0,
-                        sigma: 1.25,
-                    },
-                    partitions,
-                    ..NetModel::default()
-                },
-                ..AsyncConfig::default()
-            };
             let reports = run_adversarial_async(
                 params,
                 &overlay,
                 fanout,
-                &config,
+                &partition_config(duration, start),
                 run_seed(params.seed, tag as u64),
             );
-            let runs = reports.len();
-            let recoveries: Vec<f64> = reports
-                .iter()
-                .filter_map(|r| r.partition_recovery.first().copied().flatten())
-                .collect();
-            AdversarialPartitionRow {
-                duration,
-                mean_hit_ratio: reports.iter().map(AsyncReport::hit_ratio).sum::<f64>()
-                    / runs as f64,
-                mean_dropped_partition: reports
-                    .iter()
-                    .map(|r| r.dropped_partition as f64)
-                    .sum::<f64>()
-                    / runs as f64,
-                recovered_runs: recoveries.len(),
-                mean_recovery_time: if recoveries.is_empty() {
-                    None
-                } else {
-                    Some(recoveries.iter().sum::<f64>() / recoveries.len() as f64)
-                },
-                runs,
-            }
+            partition_row(duration, &reports)
         })
         .collect()
+}
+
+/// The async configuration of one partition-sweep arm: a salt-keyed
+/// bisection from `start` for `duration` (none at 0.0) under heavy-tailed
+/// per-link delays.
+fn partition_config(duration: f64, start: f64) -> AsyncConfig {
+    let partitions = if duration > 0.0 {
+        vec![PartitionEvent::bisection(start, duration, 0x00C0_FFEE)]
+    } else {
+        Vec::new()
+    };
+    AsyncConfig {
+        run_membership_gossip: false,
+        net: NetModel {
+            delay: DelayModel::LogNormal {
+                mu: 0.0,
+                sigma: 1.25,
+            },
+            partitions,
+            ..NetModel::default()
+        },
+        ..AsyncConfig::default()
+    }
+}
+
+/// Folds one partition-sweep arm's reports into its result row. Shared by
+/// the plain and probed sweeps so the two can never aggregate differently.
+fn partition_row(duration: f64, reports: &[AsyncReport]) -> AdversarialPartitionRow {
+    let runs = reports.len();
+    let recoveries: Vec<f64> = reports
+        .iter()
+        .filter_map(|r| r.partition_recovery.first().copied().flatten())
+        .collect();
+    AdversarialPartitionRow {
+        duration,
+        mean_hit_ratio: reports.iter().map(AsyncReport::hit_ratio).sum::<f64>() / runs as f64,
+        mean_dropped_partition: reports
+            .iter()
+            .map(|r| r.dropped_partition as f64)
+            .sum::<f64>()
+            / runs as f64,
+        recovered_runs: recoveries.len(),
+        mean_recovery_time: if recoveries.is_empty() {
+            None
+        } else {
+            Some(recoveries.iter().sum::<f64>() / recoveries.len() as f64)
+        },
+        runs,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Probed variants (`--trace` / `--profile`): the same sweeps with a trace
+// probe and a stage profiler attached. Probed runs are dense-only and
+// sequential — one probe, one totally ordered event stream — and produce
+// tables bit-identical to the parallel unprobed sweeps (pinned by the
+// unit tests below), because probes never touch the seeded RNG streams.
+
+/// Maps a selector to its trace [`ProtocolKind`] (same display name).
+fn protocol_kind(selector: &DenseSelector) -> ProtocolKind {
+    match selector {
+        DenseSelector::Flooding => ProtocolKind::Flooding,
+        DenseSelector::DeterministicFlooding => ProtocolKind::DeterministicFlooding,
+        DenseSelector::RandCast(_) => ProtocolKind::RandCast,
+        DenseSelector::RingCast(_) => ProtocolKind::RingCast,
+    }
+}
+
+/// The probed effectiveness sweep over an already built dense overlay:
+/// one `Section` event per (fanout, protocol) configuration, then
+/// `params.runs` seeded probed disseminations, folded with the same
+/// aggregation as [`effectiveness_with_dense`].
+fn effectiveness_dense_probed<P: Probe>(
+    dense: &DenseOverlay,
+    scenario: &str,
+    params: &ExperimentParams,
+    probe: &mut P,
+    profiler: &mut StageProfiler,
+) -> EffectivenessTable {
+    profiler.stage("dissemination");
+    let configs = (params.fanouts.len() * protocols(3).len()) as u64;
+    let mut heartbeat = Heartbeat::new(configs, "configs", params.quiet);
+    let mut rows = Vec::new();
+    let mut tag = 0u64;
+    for &fanout in &params.fanouts {
+        for protocol in protocols(fanout) {
+            probe.record(TraceEvent::Section {
+                protocol: protocol_kind(&protocol),
+                fanout: fanout as u32,
+                param: 0.0,
+            });
+            let reports = run_seeded_disseminations_probed(
+                dense,
+                &protocol,
+                params.runs,
+                run_seed(params.seed, tag),
+                probe,
+            );
+            tag += 1;
+            rows.push(AggregateStats::from_reports(
+                protocol.name(),
+                fanout,
+                &reports,
+            ));
+            heartbeat.advance(1, "dissemination");
+        }
+    }
+    profiler.stage("aggregation");
+    let table = EffectivenessTable {
+        scenario: scenario.to_owned(),
+        rows,
+    };
+    profiler.finish();
+    table
+}
+
+/// **Figure 6, probed**: [`static_effectiveness`] with a trace probe and
+/// stage profiler attached. Dense-only; returns the identical table.
+///
+/// # Panics
+///
+/// Panics if `params.engine` is not [`EngineKind::Dense`].
+pub fn static_effectiveness_probed<P: Probe>(
+    params: &ExperimentParams,
+    probe: &mut P,
+    profiler: &mut StageProfiler,
+) -> EffectivenessTable {
+    let dense = static_dense_overlay_probed(params, probe, profiler);
+    effectiveness_dense_probed(&dense, "static failure-free", params, probe, profiler)
+}
+
+/// **Figure 11, probed**: [`churn_effectiveness`] with a trace probe and
+/// stage profiler attached — churn `Join`/`Leave` events included.
+/// Dense-only; returns the identical table and cycle count.
+///
+/// # Panics
+///
+/// Panics if `params.engine` is not [`EngineKind::Dense`].
+pub fn churn_effectiveness_probed<P: Probe>(
+    params: &ExperimentParams,
+    probe: &mut P,
+    profiler: &mut StageProfiler,
+) -> (EffectivenessTable, usize) {
+    let (dense, cycles) = churn_dense_overlay_probed(params, probe, profiler);
+    let table = effectiveness_dense_probed(
+        &dense,
+        &format!(
+            "churn steady state ({}% per cycle, {} cycles)",
+            params.churn_rate * 100.0,
+            cycles
+        ),
+        params,
+        probe,
+        profiler,
+    );
+    (table, cycles)
+}
+
+/// **Adversarial loss sweep, probed**: each rate opens a `Section`
+/// (`param` = loss rate) followed by its seeded probed async runs.
+/// Dense-only; returns rows identical to [`adversarial_loss_sweep`].
+///
+/// # Panics
+///
+/// Panics if `params.engine` is not [`EngineKind::Dense`].
+pub fn adversarial_loss_sweep_probed<P: Probe>(
+    params: &ExperimentParams,
+    loss_rates: &[f64],
+    probe: &mut P,
+    profiler: &mut StageProfiler,
+) -> Vec<AdversarialLossRow> {
+    let fanout = params.fanouts.first().copied().unwrap_or(3);
+    let overlay = static_dense_overlay_probed(params, probe, profiler);
+    profiler.stage("dissemination");
+    let mut heartbeat = Heartbeat::new(loss_rates.len() as u64, "configs", params.quiet);
+    let mut rows = Vec::new();
+    for (tag, &rate) in loss_rates.iter().enumerate() {
+        let config = loss_config(rate);
+        config.validate().expect("adversarial sweep config");
+        probe.record(TraceEvent::Section {
+            protocol: ProtocolKind::RingCast,
+            fanout: fanout as u32,
+            param: rate,
+        });
+        let reports = run_seeded_async_probed(
+            &overlay,
+            &DenseSelector::ringcast(fanout),
+            &config,
+            params.runs,
+            run_seed(params.seed, tag as u64),
+            probe,
+        );
+        rows.push(loss_row(rate, &reports));
+        heartbeat.advance(1, "dissemination");
+    }
+    profiler.stage("aggregation");
+    profiler.finish();
+    rows
+}
+
+/// **Adversarial partition sweep, probed**: each duration opens a
+/// `Section` (`param` = duration) followed by its seeded probed async
+/// runs, whose `PartitionOpen`/`PartitionHeal` events announce the
+/// scripted timeline. Dense-only; rows identical to
+/// [`adversarial_partition_sweep`].
+///
+/// # Panics
+///
+/// Panics if `params.engine` is not [`EngineKind::Dense`].
+pub fn adversarial_partition_sweep_probed<P: Probe>(
+    params: &ExperimentParams,
+    durations: &[f64],
+    start: f64,
+    probe: &mut P,
+    profiler: &mut StageProfiler,
+) -> Vec<AdversarialPartitionRow> {
+    let fanout = params.fanouts.first().copied().unwrap_or(3);
+    let overlay = static_dense_overlay_probed(params, probe, profiler);
+    profiler.stage("dissemination");
+    let mut heartbeat = Heartbeat::new(durations.len() as u64, "configs", params.quiet);
+    let mut rows = Vec::new();
+    for (tag, &duration) in durations.iter().enumerate() {
+        let config = partition_config(duration, start);
+        config.validate().expect("adversarial sweep config");
+        probe.record(TraceEvent::Section {
+            protocol: ProtocolKind::RingCast,
+            fanout: fanout as u32,
+            param: duration,
+        });
+        let reports = run_seeded_async_probed(
+            &overlay,
+            &DenseSelector::ringcast(fanout),
+            &config,
+            params.runs,
+            run_seed(params.seed, tag as u64),
+            probe,
+        );
+        rows.push(partition_row(duration, &reports));
+        heartbeat.advance(1, "dissemination");
+    }
+    profiler.stage("aggregation");
+    profiler.finish();
+    rows
 }
 
 /// **Section 8 ablation**: reliability of different d-link structures under
@@ -979,7 +1195,99 @@ mod tests {
             churn_max_cycles: 500,
             engine: EngineKind::Dense,
             threads: 2,
+            quiet: true,
         }
+    }
+
+    #[test]
+    fn probed_static_effectiveness_matches_unprobed_bit_for_bit() {
+        use hybridcast_obs::{NullProbe, VecProbe};
+
+        let params = tiny();
+        let plain = static_effectiveness(&params);
+
+        let mut profiler = StageProfiler::new();
+        let probed = static_effectiveness_probed(&params, &mut NullProbe, &mut profiler);
+        assert_eq!(plain, probed, "NullProbe must not perturb the sweep");
+        let names: Vec<&str> = profiler.stages().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            ["overlay build", "warm-up", "dissemination", "aggregation"]
+        );
+
+        let mut probe = VecProbe::new();
+        let mut profiler = StageProfiler::new();
+        let traced = static_effectiveness_probed(&params, &mut probe, &mut profiler);
+        assert_eq!(
+            plain, traced,
+            "a recording probe must not perturb it either"
+        );
+        let sections = probe
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Section { .. }))
+            .count();
+        assert_eq!(sections, params.fanouts.len() * 2);
+        let runs = probe
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RunStart { .. }))
+            .count();
+        assert_eq!(sections * params.runs, runs);
+    }
+
+    #[test]
+    fn probed_churn_effectiveness_matches_unprobed_bit_for_bit() {
+        use hybridcast_obs::NullProbe;
+
+        let params = tiny();
+        let (plain, plain_cycles) = churn_effectiveness(&params);
+        let mut profiler = StageProfiler::new();
+        let (probed, probed_cycles) =
+            churn_effectiveness_probed(&params, &mut NullProbe, &mut profiler);
+        assert_eq!(plain_cycles, probed_cycles);
+        assert_eq!(plain, probed);
+    }
+
+    #[test]
+    fn probed_adversarial_sweeps_match_unprobed_bit_for_bit() {
+        use hybridcast_obs::VecProbe;
+
+        let params = ExperimentParams {
+            runs: 4,
+            fanouts: vec![4],
+            ..tiny()
+        };
+        let rates = [0.0, 0.2];
+        let plain = adversarial_loss_sweep(&params, &rates);
+        let mut probe = VecProbe::new();
+        let mut profiler = StageProfiler::new();
+        let probed = adversarial_loss_sweep_probed(&params, &rates, &mut probe, &mut profiler);
+        assert_eq!(plain, probed);
+        let sections: Vec<f64> = probe
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Section { param, .. } => Some(*param),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sections, rates);
+
+        let durations = [0.0, 3.0];
+        let plain = adversarial_partition_sweep(&params, &durations, 2.0);
+        let mut probe = VecProbe::new();
+        let mut profiler = StageProfiler::new();
+        let probed =
+            adversarial_partition_sweep_probed(&params, &durations, 2.0, &mut probe, &mut profiler);
+        assert_eq!(plain, probed);
+        assert!(
+            probe
+                .events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::PartitionOpen { .. })),
+            "the scripted bisection must be announced in the trace"
+        );
     }
 
     #[test]

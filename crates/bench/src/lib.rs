@@ -12,7 +12,9 @@
 //! * [`figures`] — one function per figure, each returning serializable
 //!   result tables,
 //! * [`output`] — plain-text/CSV rendering of those tables, matching the
-//!   rows and series the paper plots.
+//!   rows and series the paper plots,
+//! * [`trace`] — folds the JSONL event traces the probed sweeps export
+//!   (`--trace`) back into the same aggregate tables (`trace_summary`).
 //!
 //! | figure | binary | function |
 //! |---|---|---|
@@ -45,7 +47,9 @@
 pub mod cli;
 pub mod figures;
 pub mod output;
+pub mod probing;
 pub mod scenario;
+pub mod trace;
 
 pub use cli::Args;
 pub use scenario::{EngineKind, ExperimentParams};

@@ -1,0 +1,133 @@
+//! `--trace` / `--profile` plumbing shared by the probed figure binaries.
+//!
+//! The figure functions come in pairs — a plain sweep and a `_probed`
+//! twin that takes a [`Probe`] and a [`StageProfiler`] and returns the
+//! identical table. This module turns the two flags into that probe: no
+//! flags means the binary calls the plain (parallel) sweep, `--profile`
+//! attaches a [`NullProbe`] just to get stage timings, and
+//! `--trace <path>` streams the full event record as JSON Lines.
+//!
+//! Binaries run probes through `&mut dyn Probe`: one JSONL writer is not
+//! a hot path, and dynamic dispatch here keeps the binaries from
+//! monomorphizing every sweep twice. The engines themselves stay generic
+//! (the `hybridcast-lint` hot-path rule bans `dyn Probe` there).
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use hybridcast_obs::{JsonlProbe, NullProbe, Probe, StageProfiler};
+
+use crate::cli::Args;
+use crate::scenario::{EngineKind, ExperimentParams};
+
+/// The observability options of a figure binary.
+#[derive(Debug)]
+pub struct ProbeOptions {
+    /// Stream the structured event record to this JSONL file (`--trace`).
+    pub trace: Option<String>,
+    /// Render the wall-clock stage breakdown to stderr (`--profile`).
+    pub profile: bool,
+}
+
+impl ProbeOptions {
+    /// Parses `--trace <path>` and `--profile`, rejecting combinations
+    /// the probed sweeps cannot serve.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either flag is combined with `--engine btree`:
+    /// the probe hooks ride the dense engines, and the BTree engine's role
+    /// is to differentially verify them, not to replace them.
+    pub fn from_args(args: &Args, params: &ExperimentParams) -> Result<Self, String> {
+        let options = ProbeOptions {
+            trace: args.value("trace").map(str::to_owned),
+            profile: args.flag("profile"),
+        };
+        if options.active() && params.engine != EngineKind::Dense {
+            return Err(
+                "--trace/--profile require --engine dense (probes hook the dense engines)"
+                    .to_owned(),
+            );
+        }
+        Ok(options)
+    }
+
+    /// `true` if the binary should call the probed sweep at all.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.trace.is_some() || self.profile
+    }
+
+    /// Runs `f` with the configured probe and profiler, finalizes the
+    /// trace file, and renders the profile to stderr when requested.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the trace file cannot be created, written or
+    /// flushed.
+    pub fn run_probed<T>(
+        &self,
+        f: impl FnOnce(&mut dyn Probe, &mut StageProfiler) -> T,
+    ) -> Result<T, String> {
+        let mut profiler = StageProfiler::new();
+        let result = match &self.trace {
+            Some(path) => {
+                let file = File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+                let mut probe = JsonlProbe::new(BufWriter::new(file))
+                    .map_err(|e| format!("--trace {path}: {e}"))?;
+                let result = f(&mut probe, &mut profiler);
+                probe.finish().map_err(|e| format!("--trace {path}: {e}"))?;
+                result
+            }
+            None => f(&mut NullProbe, &mut profiler),
+        };
+        if self.profile {
+            eprint!("{}", profiler.render());
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_params() -> ExperimentParams {
+        ExperimentParams::quick()
+    }
+
+    #[test]
+    fn flags_parse_and_btree_is_rejected() {
+        let args = Args::parse(["--trace", "/tmp/t.jsonl", "--profile"]).unwrap();
+        let options = ProbeOptions::from_args(&args, &dense_params()).unwrap();
+        assert!(options.active());
+        assert_eq!(options.trace.as_deref(), Some("/tmp/t.jsonl"));
+
+        let none = ProbeOptions::from_args(&Args::parse([] as [&str; 0]).unwrap(), &dense_params())
+            .unwrap();
+        assert!(!none.active());
+
+        let btree = ExperimentParams {
+            engine: EngineKind::Btree,
+            ..dense_params()
+        };
+        assert!(ProbeOptions::from_args(&args, &btree).is_err());
+        let inactive = Args::parse([] as [&str; 0]).unwrap();
+        assert!(ProbeOptions::from_args(&inactive, &btree).is_ok());
+    }
+
+    #[test]
+    fn run_probed_without_trace_uses_the_null_probe() {
+        let options = ProbeOptions {
+            trace: None,
+            profile: false,
+        };
+        let seen = options
+            .run_probed(|probe, profiler| {
+                profiler.stage("work");
+                probe.enabled()
+            })
+            .unwrap();
+        assert!(!seen, "no --trace means the inert NullProbe");
+    }
+}

@@ -8,6 +8,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use hybridcast_core::overlay::{DenseOverlay, SnapshotOverlay};
+use hybridcast_obs::{Heartbeat, Probe, StageProfiler};
 use hybridcast_sim::churn::{ChurnConfig, ChurnDriver};
 use hybridcast_sim::failure::kill_fraction_in_snapshot;
 use hybridcast_sim::{DenseSimNetwork, GossipRuntime, Network, OverlaySnapshot, SimConfig};
@@ -79,6 +80,10 @@ pub struct ExperimentParams {
     /// machine's available parallelism". Results are identical for every
     /// value (`--threads`).
     pub threads: usize,
+    /// Silence the progress heartbeat on stderr (`--quiet`). Progress is
+    /// still counted in the metrics registry either way; the flag only
+    /// controls the printing, never the computation.
+    pub quiet: bool,
 }
 
 impl ExperimentParams {
@@ -95,6 +100,7 @@ impl ExperimentParams {
             churn_max_cycles: 20_000,
             engine: EngineKind::Dense,
             threads: 0,
+            quiet: false,
         }
     }
 
@@ -111,13 +117,15 @@ impl ExperimentParams {
             churn_max_cycles: 3_000,
             engine: EngineKind::Dense,
             threads: 0,
+            quiet: false,
         }
     }
 
     /// Builds parameters from command-line arguments: `--paper` selects the
     /// full scale, and `--nodes`, `--runs`, `--warmup`, `--fanouts`,
     /// `--seed`, `--churn-rate`, `--churn-max-cycles`, `--engine`,
-    /// `--threads` override individual fields.
+    /// `--threads` override individual fields; `--quiet` silences the
+    /// progress heartbeat.
     ///
     /// # Errors
     ///
@@ -138,6 +146,7 @@ impl ExperimentParams {
             churn_max_cycles: args.get_or("churn-max-cycles", base.churn_max_cycles)?,
             engine: args.get_or("engine", base.engine)?,
             threads: args.get_or("threads", base.threads)?,
+            quiet: args.flag("quiet"),
         })
     }
 
@@ -189,6 +198,24 @@ fn with_warmed_runtime<T>(
     }
 }
 
+/// Chunk size for the warm-up progress heartbeat. Running `run_cycles` in
+/// chunks produces the exact same RNG stream as one big call, so the
+/// heartbeat can never perturb a result.
+const WARMUP_HEARTBEAT_CHUNK: usize = 25;
+
+/// Runs `cycles` warm-up gossip cycles in heartbeat-sized chunks, reporting
+/// rate-limited progress on stderr (silenced by `quiet`).
+fn warm_with_heartbeat<N: GossipRuntime + ?Sized>(network: &mut N, cycles: usize, quiet: bool) {
+    let mut heartbeat = Heartbeat::new(cycles as u64, "cycles", quiet);
+    let mut done = 0usize;
+    while done < cycles {
+        let step = (cycles - done).min(WARMUP_HEARTBEAT_CHUNK);
+        network.run_cycles(step);
+        done += step;
+        heartbeat.advance(step as u64, "warm-up");
+    }
+}
+
 /// Scenario 1 (Section 7.1): a static failure-free overlay, warmed up for
 /// `warmup_cycles` and frozen. The membership phase runs on the engine
 /// selected by `params.engine` (identical overlays either way).
@@ -196,7 +223,7 @@ pub fn static_overlay(params: &ExperimentParams) -> SnapshotOverlay {
     with_warmed_runtime(
         params,
         |network| {
-            network.run_cycles(params.warmup_cycles);
+            warm_with_heartbeat(network, params.warmup_cycles, params.quiet);
             params.warmup_cycles
         },
         |network, _| SnapshotOverlay::new(network.overlay_snapshot()),
@@ -214,7 +241,7 @@ pub fn static_dense_overlay(params: &ExperimentParams) -> DenseOverlay {
     match params.engine {
         EngineKind::Dense => {
             let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
-            network.run_cycles(params.warmup_cycles);
+            warm_with_heartbeat(&mut network, params.warmup_cycles, params.quiet);
             DenseOverlay::from_dense_sim(&network)
         }
         EngineKind::Btree => dense_overlay(&static_overlay(params)),
@@ -251,6 +278,10 @@ pub fn dense_overlay(overlay: &SnapshotOverlay) -> DenseOverlay {
 /// every bootstrap node has been replaced (capped at
 /// `params.churn_max_cycles`). The single definition keeps the dense and
 /// BTree paths running the identical protocol.
+///
+/// The loop mirrors [`ChurnDriver::run_until_all_replaced`] cycle for
+/// cycle; it is inlined here only so a progress heartbeat can tick between
+/// cycles (churn warm-up dominates the wall-clock of the churn figures).
 fn run_churn_warmup<N: GossipRuntime + ?Sized>(
     params: &ExperimentParams,
     network: &mut N,
@@ -258,7 +289,19 @@ fn run_churn_warmup<N: GossipRuntime + ?Sized>(
     let mut driver = ChurnDriver::new(ChurnConfig {
         rate: params.churn_rate,
     });
-    driver.run_until_all_replaced(network, params.churn_max_cycles)
+    let initial: Vec<_> = network.live_ids();
+    let mut heartbeat = Heartbeat::new(params.churn_max_cycles as u64, "cycles", params.quiet);
+    let mut executed = 0usize;
+    while executed < params.churn_max_cycles {
+        driver.apply_churn_step(network);
+        network.run_cycles(1);
+        executed += 1;
+        heartbeat.advance(1, "churn warm-up");
+        if initial.iter().all(|&id| !network.is_live(id)) {
+            break;
+        }
+    }
+    executed
 }
 
 /// Like [`churn_overlay`] but also reports how many churn cycles were run.
@@ -293,6 +336,78 @@ pub fn churn_scenario(params: &ExperimentParams) -> (DenseOverlay, SnapshotOverl
     }
 }
 
+/// [`static_dense_overlay`] with a [`Probe`] attached to the membership
+/// phase and the "overlay build" / "warm-up" stages recorded on
+/// `profiler`. Probed runs are dense-only: the probe hooks live on the
+/// arena runtime, and the BTree runtime serves as its oracle in tests.
+///
+/// # Panics
+///
+/// Panics if `params.engine` is not [`EngineKind::Dense`].
+pub fn static_dense_overlay_probed<P: Probe>(
+    params: &ExperimentParams,
+    probe: &mut P,
+    profiler: &mut StageProfiler,
+) -> DenseOverlay {
+    assert_eq!(
+        params.engine,
+        EngineKind::Dense,
+        "probed runs require the dense engine"
+    );
+    profiler.stage("overlay build");
+    let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+    profiler.stage("warm-up");
+    let mut heartbeat = Heartbeat::new(params.warmup_cycles as u64, "cycles", params.quiet);
+    let mut done = 0usize;
+    while done < params.warmup_cycles {
+        let step = (params.warmup_cycles - done).min(WARMUP_HEARTBEAT_CHUNK);
+        network.run_cycles_probed(step, probe);
+        done += step;
+        heartbeat.advance(step as u64, "warm-up");
+    }
+    DenseOverlay::from_dense_sim(&network)
+}
+
+/// The churn scenario with a [`Probe`] attached: every churn `Join`/`Leave`
+/// and every membership `ViewExchange`/`CycleEnd` of the warm-up lands in
+/// the probe, and the "overlay build" / "warm-up" stages are recorded on
+/// `profiler`. Returns the dense overlay and the churn cycle count —
+/// identical to [`churn_scenario`] for the same parameters.
+///
+/// # Panics
+///
+/// Panics if `params.engine` is not [`EngineKind::Dense`].
+pub fn churn_dense_overlay_probed<P: Probe>(
+    params: &ExperimentParams,
+    probe: &mut P,
+    profiler: &mut StageProfiler,
+) -> (DenseOverlay, usize) {
+    assert_eq!(
+        params.engine,
+        EngineKind::Dense,
+        "probed runs require the dense engine"
+    );
+    profiler.stage("overlay build");
+    let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+    profiler.stage("warm-up");
+    let mut driver = ChurnDriver::new(ChurnConfig {
+        rate: params.churn_rate,
+    });
+    let initial: Vec<_> = network.live_ids();
+    let mut heartbeat = Heartbeat::new(params.churn_max_cycles as u64, "cycles", params.quiet);
+    let mut executed = 0usize;
+    while executed < params.churn_max_cycles {
+        driver.apply_churn_step_probed(&mut network, probe);
+        network.run_cycles_probed(1, probe);
+        executed += 1;
+        heartbeat.advance(1, "churn warm-up");
+        if initial.iter().all(|&id| !network.is_live(id)) {
+            break;
+        }
+    }
+    (DenseOverlay::from_dense_sim(&network), executed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +424,7 @@ mod tests {
             churn_max_cycles: 400,
             engine: EngineKind::Dense,
             threads: 2,
+            quiet: true,
         }
     }
 
@@ -404,6 +520,55 @@ mod tests {
             assert_eq!(overlay_dense.r_links(id), overlay_btree.r_links(id));
             assert_eq!(overlay_dense.d_links(id), overlay_btree.d_links(id));
         }
+    }
+
+    #[test]
+    fn probed_scenario_builders_match_unprobed() {
+        use hybridcast_obs::{TraceEvent, VecProbe};
+
+        let params = tiny();
+        let mut probe = VecProbe::new();
+        let mut profiler = StageProfiler::new();
+        let probed = static_dense_overlay_probed(&params, &mut probe, &mut profiler);
+        let plain = static_dense_overlay(&params);
+        assert_eq!(probed.live_node_ids(), plain.live_node_ids());
+        for id in probed.live_node_ids() {
+            assert_eq!(probed.r_links(id), plain.r_links(id));
+            assert_eq!(probed.d_links(id), plain.d_links(id));
+        }
+        let cycles = probe
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CycleEnd { .. }))
+            .count();
+        assert_eq!(cycles, params.warmup_cycles);
+        profiler.finish();
+        let stages: Vec<&str> = profiler.stages().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(stages, ["overlay build", "warm-up"]);
+
+        let mut churn_probe = VecProbe::new();
+        let mut churn_profiler = StageProfiler::new();
+        let (churn_probed, cycles_probed) =
+            churn_dense_overlay_probed(&params, &mut churn_probe, &mut churn_profiler);
+        let (churn_plain, _snapshot, cycles_plain) = churn_scenario(&params);
+        assert_eq!(cycles_probed, cycles_plain);
+        assert_eq!(churn_probed.live_node_ids(), churn_plain.live_node_ids());
+        for id in churn_probed.live_node_ids() {
+            assert_eq!(churn_probed.r_links(id), churn_plain.r_links(id));
+            assert_eq!(churn_probed.d_links(id), churn_plain.d_links(id));
+        }
+        let joins = churn_probe
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Join { .. }))
+            .count();
+        let leaves = churn_probe
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Leave { .. }))
+            .count();
+        assert!(joins > 0, "churn warm-up must record joins");
+        assert_eq!(joins, leaves, "population-preserving churn");
     }
 
     #[test]

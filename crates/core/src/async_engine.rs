@@ -61,6 +61,7 @@ use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::cast::{idx, to_u32};
 use hybridcast_graph::NodeId;
+use hybridcast_obs::{DeliveryOutcome, NullProbe, Probe, TraceEvent};
 use hybridcast_sim::Network;
 
 use crate::netmodel::{jittered, partition_recovery, NetModel};
@@ -286,6 +287,20 @@ fn momentary_view(network: &Network, node: NodeId) -> Option<MomentaryView> {
     })
 }
 
+/// Announces the scripted partition schedule of `net` into `probe`, right
+/// after a run's `RunStart`: one `PartitionOpen`/`PartitionHeal` pair per
+/// scripted [`crate::netmodel::PartitionEvent`], in script order.
+fn emit_partition_schedule<P: Probe>(net: &NetModel, probe: &mut P) {
+    for event in &net.partitions {
+        let heal = event.start + event.duration;
+        probe.record(TraceEvent::PartitionOpen {
+            start: event.start,
+            heal,
+        });
+        probe.record(TraceEvent::PartitionHeal { heal });
+    }
+}
+
 /// Runs one event-driven dissemination of a message originating at `origin`
 /// over the live `network`.
 ///
@@ -301,6 +316,20 @@ pub fn disseminate_async(
     origin: NodeId,
     config: &AsyncConfig,
     rng: &mut ChaCha8Rng,
+) -> AsyncReport {
+    disseminate_async_probed(network, selector, origin, config, rng, &mut NullProbe)
+}
+
+/// [`disseminate_async`] with a [`Probe`] attached. The probe observes the
+/// run — it never feeds back into the RNG or the event queue — so the
+/// report is bit-identical to the unprobed call for any probe.
+pub fn disseminate_async_probed<P: Probe>(
+    network: &mut Network,
+    selector: &dyn GossipTargetSelector,
+    origin: NodeId,
+    config: &AsyncConfig,
+    rng: &mut ChaCha8Rng,
+    probe: &mut P,
 ) -> AsyncReport {
     config.validate().expect("invalid async configuration");
     assert!(
@@ -339,6 +368,11 @@ pub fn disseminate_async(
             hop: 0,
         },
     );
+    probe.record(TraceEvent::RunStart {
+        origin: origin.as_u64(),
+        population: population as u64,
+    });
+    emit_partition_schedule(&config.net, probe);
 
     let mut notified: BTreeSet<NodeId> = BTreeSet::new();
     let mut notification_times: BTreeMap<NodeId, f64> = BTreeMap::new();
@@ -375,12 +409,30 @@ pub fn disseminate_async(
                 pending_deliveries -= 1;
                 if !network.is_live(to) {
                     messages_to_dead += 1;
+                    probe.record(TraceEvent::Delivered {
+                        node: to.as_u64(),
+                        from: from.as_u64(),
+                        hop,
+                        outcome: DeliveryOutcome::Dead,
+                    });
                     continue;
                 }
                 if !notified.insert(to) {
                     messages_redundant += 1;
+                    probe.record(TraceEvent::Delivered {
+                        node: to.as_u64(),
+                        from: from.as_u64(),
+                        hop,
+                        outcome: DeliveryOutcome::Duplicate,
+                    });
                     continue;
                 }
+                probe.record(TraceEvent::Delivered {
+                    node: to.as_u64(),
+                    from: from.as_u64(),
+                    hop,
+                    outcome: DeliveryOutcome::Virgin,
+                });
                 notification_times.insert(to, time);
                 if notified.len() == population {
                     completion_time = Some(time);
@@ -397,14 +449,29 @@ pub fn disseminate_async(
                 per_hop_messages[hop_idx] += targets.len();
                 for target in targets {
                     messages_sent += 1;
+                    probe.record(TraceEvent::Sent {
+                        from: to.as_u64(),
+                        to: target.as_u64(),
+                        hop: hop + 1,
+                    });
                     if config.net.blocks(to, target, time) {
                         dropped_partition += 1;
+                        probe.record(TraceEvent::DroppedPartition {
+                            from: to.as_u64(),
+                            to: target.as_u64(),
+                            hop: hop + 1,
+                        });
                         continue;
                     }
                     if !config.net.loss.is_none() {
                         let bad = ge_bad.entry(to).or_insert(false);
                         if config.net.loss.sample(bad, rng) {
                             dropped_loss += 1;
+                            probe.record(TraceEvent::DroppedLoss {
+                                from: to.as_u64(),
+                                to: target.as_u64(),
+                                hop: hop + 1,
+                            });
                             continue;
                         }
                     }
@@ -429,6 +496,9 @@ pub fn disseminate_async(
         }
     }
 
+    probe.record(TraceEvent::RunEnd {
+        reached: notified.len() as u64,
+    });
     let partition_recovery =
         partition_recovery(&config.net.partitions, notification_times.values().copied());
     AsyncReport {
@@ -467,6 +537,22 @@ pub fn disseminate_async_frozen(
     config: &AsyncConfig,
     rng: &mut ChaCha8Rng,
 ) -> AsyncReport {
+    disseminate_async_frozen_probed(overlay, selector, origin, config, rng, &mut NullProbe)
+}
+
+/// [`disseminate_async_frozen`] with a [`Probe`] attached. Given the same
+/// overlay pair, selector, origin, configuration and seed, the event stream
+/// is identical — record for record — to the one
+/// [`disseminate_async_dense_stats_probed`] emits: the differential
+/// property tests pin that down alongside the report equality.
+pub fn disseminate_async_frozen_probed<P: Probe>(
+    overlay: &dyn Overlay,
+    selector: &dyn GossipTargetSelector,
+    origin: NodeId,
+    config: &AsyncConfig,
+    rng: &mut ChaCha8Rng,
+    probe: &mut P,
+) -> AsyncReport {
     config.validate().expect("invalid async configuration");
     assert!(
         overlay.is_live(origin),
@@ -494,6 +580,11 @@ pub fn disseminate_async_frozen(
             hop: 0,
         },
     );
+    probe.record(TraceEvent::RunStart {
+        origin: origin.as_u64(),
+        population: population as u64,
+    });
+    emit_partition_schedule(&config.net, probe);
 
     let mut notified: BTreeSet<NodeId> = BTreeSet::new();
     let mut notification_times: BTreeMap<NodeId, f64> = BTreeMap::new();
@@ -518,12 +609,30 @@ pub fn disseminate_async_frozen(
         };
         if !overlay.is_live(to) {
             messages_to_dead += 1;
+            probe.record(TraceEvent::Delivered {
+                node: to.as_u64(),
+                from: from.as_u64(),
+                hop,
+                outcome: DeliveryOutcome::Dead,
+            });
             continue;
         }
         if !notified.insert(to) {
             messages_redundant += 1;
+            probe.record(TraceEvent::Delivered {
+                node: to.as_u64(),
+                from: from.as_u64(),
+                hop,
+                outcome: DeliveryOutcome::Duplicate,
+            });
             continue;
         }
+        probe.record(TraceEvent::Delivered {
+            node: to.as_u64(),
+            from: from.as_u64(),
+            hop,
+            outcome: DeliveryOutcome::Virgin,
+        });
         notification_times.insert(to, time);
         if notified.len() == population {
             completion_time = Some(time);
@@ -537,14 +646,29 @@ pub fn disseminate_async_frozen(
         per_hop_messages[hop_idx] += targets.len();
         for target in targets {
             messages_sent += 1;
+            probe.record(TraceEvent::Sent {
+                from: to.as_u64(),
+                to: target.as_u64(),
+                hop: hop + 1,
+            });
             if config.net.blocks(to, target, time) {
                 dropped_partition += 1;
+                probe.record(TraceEvent::DroppedPartition {
+                    from: to.as_u64(),
+                    to: target.as_u64(),
+                    hop: hop + 1,
+                });
                 continue;
             }
             if !config.net.loss.is_none() {
                 let bad = ge_bad.entry(to).or_insert(false);
                 if config.net.loss.sample(bad, rng) {
                     dropped_loss += 1;
+                    probe.record(TraceEvent::DroppedLoss {
+                        from: to.as_u64(),
+                        to: target.as_u64(),
+                        hop: hop + 1,
+                    });
                     continue;
                 }
             }
@@ -565,6 +689,9 @@ pub fn disseminate_async_frozen(
         }
     }
 
+    probe.record(TraceEvent::RunEnd {
+        reached: notified.len() as u64,
+    });
     let partition_recovery =
         partition_recovery(&config.net.partitions, notification_times.values().copied());
     AsyncReport {
@@ -632,6 +759,11 @@ pub struct DenseAsyncScratch {
     /// Per-sender Gilbert–Elliott chain state (`false` = good), the dense
     /// mirror of the oracle's id-keyed state map.
     ge_bad: Vec<bool>,
+    /// Largest event-queue length observed during the most recent run —
+    /// the in-flight message high-water mark, and (together with the
+    /// retained heap capacity) what `scale_smoke` reports as the event-heap
+    /// footprint of a gate.
+    heap_high_water: usize,
 }
 
 impl DenseAsyncScratch {
@@ -646,6 +778,13 @@ impl DenseAsyncScratch {
         &self.per_hop
     }
 
+    /// Peak number of simultaneously queued deliveries during the most
+    /// recent run. The heap's retained capacity never shrinks below this,
+    /// so it bounds the scratch's steady-state event memory.
+    pub fn event_heap_high_water(&self) -> usize {
+        self.heap_high_water
+    }
+
     fn reset(&mut self, len: usize) {
         self.notified.reset(len);
         self.notify_time.clear();
@@ -657,6 +796,7 @@ impl DenseAsyncScratch {
         self.pool.clear();
         self.ge_bad.clear();
         self.ge_bad.resize(len, false);
+        self.heap_high_water = 0;
     }
 }
 
@@ -711,7 +851,30 @@ pub fn disseminate_async_dense(
     rng: &mut ChaCha8Rng,
     scratch: &mut DenseAsyncScratch,
 ) -> AsyncReport {
-    let stats = disseminate_async_dense_stats(overlay, selector, origin, config, rng, scratch);
+    disseminate_async_dense_probed(
+        overlay,
+        selector,
+        origin,
+        config,
+        rng,
+        scratch,
+        &mut NullProbe,
+    )
+}
+
+/// [`disseminate_async_dense`] with a [`Probe`] attached.
+pub fn disseminate_async_dense_probed<P: Probe>(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    config: &AsyncConfig,
+    rng: &mut ChaCha8Rng,
+    scratch: &mut DenseAsyncScratch,
+    probe: &mut P,
+) -> AsyncReport {
+    let stats = disseminate_async_dense_stats_probed(
+        overlay, selector, origin, config, rng, scratch, probe,
+    );
 
     // Convert back to the id-keyed report. This is the only part that
     // allocates, and it is O(population) — independent of message count.
@@ -789,6 +952,33 @@ pub fn disseminate_async_dense_stats(
     rng: &mut ChaCha8Rng,
     scratch: &mut DenseAsyncScratch,
 ) -> DenseAsyncRunStats {
+    disseminate_async_dense_stats_probed(
+        overlay,
+        selector,
+        origin,
+        config,
+        rng,
+        scratch,
+        &mut NullProbe,
+    )
+}
+
+/// [`disseminate_async_dense_stats`] with a [`Probe`] attached. Events use
+/// raw node ids (`overlay.node_id(..)`), and the origin's self-delivery
+/// reports itself as the sender, so the stream matches
+/// [`disseminate_async_frozen_probed`]'s bit for bit. With a recording
+/// probe attached the zero-allocation contract is the probe's to keep:
+/// over a warmed [`hybridcast_obs::RingSink`] the run still performs no
+/// heap allocation (pinned in `tests/zero_alloc.rs`).
+pub fn disseminate_async_dense_stats_probed<P: Probe>(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    config: &AsyncConfig,
+    rng: &mut ChaCha8Rng,
+    scratch: &mut DenseAsyncScratch,
+    probe: &mut P,
+) -> DenseAsyncRunStats {
     config.validate().expect("invalid async configuration");
     let origin_idx = overlay.index_of(origin).filter(|&i| overlay.is_live_idx(i));
     let Some(origin_idx) = origin_idx else {
@@ -806,6 +996,7 @@ pub fn disseminate_async_dense_stats(
         targets,
         pool,
         ge_bad,
+        heap_high_water,
     } = scratch;
 
     let mut seq = 0u64;
@@ -817,6 +1008,12 @@ pub fn disseminate_async_dense_stats(
         from: NO_NODE,
         hop: 0,
     });
+    *heap_high_water = 1;
+    probe.record(TraceEvent::RunStart {
+        origin: origin.as_u64(),
+        population: population as u64,
+    });
+    emit_partition_schedule(&config.net, probe);
 
     let mut reached = 0usize;
     let mut messages_sent = 0usize;
@@ -833,14 +1030,40 @@ pub fn disseminate_async_dense_stats(
             truncated = true;
             break;
         }
+        // The origin's self-delivery carries the `NO_NODE` sentinel; the
+        // oracle reports the origin as its own sender, so mirror that.
+        let node_id = overlay.node_id(event.to).as_u64();
+        let from_id = if event.from == NO_NODE {
+            node_id
+        } else {
+            overlay.node_id(event.from).as_u64()
+        };
         if !overlay.is_live_idx(event.to) {
             messages_to_dead += 1;
+            probe.record(TraceEvent::Delivered {
+                node: node_id,
+                from: from_id,
+                hop: event.hop,
+                outcome: DeliveryOutcome::Dead,
+            });
             continue;
         }
         if !notified.set(event.to) {
             messages_redundant += 1;
+            probe.record(TraceEvent::Delivered {
+                node: node_id,
+                from: from_id,
+                hop: event.hop,
+                outcome: DeliveryOutcome::Duplicate,
+            });
             continue;
         }
+        probe.record(TraceEvent::Delivered {
+            node: node_id,
+            from: from_id,
+            hop: event.hop,
+            outcome: DeliveryOutcome::Virgin,
+        });
         notify_time[idx(event.to)] = event.time;
         reached += 1;
         if reached == population {
@@ -854,18 +1077,34 @@ pub fn disseminate_async_dense_stats(
         per_hop[hop_idx] += targets.len();
         for &target in targets.iter() {
             messages_sent += 1;
+            let target_id = overlay.node_id(target).as_u64();
+            probe.record(TraceEvent::Sent {
+                from: node_id,
+                to: target_id,
+                hop: event.hop + 1,
+            });
             if config.net.blocks(
                 overlay.node_id(event.to),
                 overlay.node_id(target),
                 event.time,
             ) {
                 dropped_partition += 1;
+                probe.record(TraceEvent::DroppedPartition {
+                    from: node_id,
+                    to: target_id,
+                    hop: event.hop + 1,
+                });
                 continue;
             }
             if !config.net.loss.is_none() {
                 let bad = &mut ge_bad[idx(event.to)];
                 if config.net.loss.sample(bad, rng) {
                     dropped_loss += 1;
+                    probe.record(TraceEvent::DroppedLoss {
+                        from: node_id,
+                        to: target_id,
+                        hop: event.hop + 1,
+                    });
                     continue;
                 }
             }
@@ -881,9 +1120,15 @@ pub fn disseminate_async_dense_stats(
                 from: event.to,
                 hop: event.hop + 1,
             });
+            if queue.len() > *heap_high_water {
+                *heap_high_water = queue.len();
+            }
         }
     }
 
+    probe.record(TraceEvent::RunEnd {
+        reached: reached as u64,
+    });
     DenseAsyncRunStats {
         population,
         reached,

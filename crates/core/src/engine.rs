@@ -15,6 +15,7 @@ use rand::RngCore;
 
 use hybridcast_graph::cast::{idx, to_u32};
 use hybridcast_graph::NodeId;
+use hybridcast_obs::{DeliveryOutcome, NullProbe, Probe, TraceEvent};
 
 use crate::metrics::DisseminationReport;
 use crate::overlay::{DenseBits, DenseOverlay, Overlay, NO_NODE};
@@ -55,12 +56,43 @@ pub fn disseminate(
     origin: NodeId,
     rng: &mut dyn RngCore,
 ) -> DisseminationReport {
+    disseminate_probed(overlay, selector, origin, rng, &mut NullProbe)
+}
+
+/// [`disseminate`] with a [`Probe`] attached: emits the structured trace
+/// stream of the run (`RunStart`, then per message `Sent` + `Delivered`,
+/// `HopEnd` per frontier expansion, and a final `RunEnd`).
+///
+/// Probes observe, they never steer: no probe touches the RNG, so the
+/// returned report is identical for every probe — with [`NullProbe`] this
+/// *is* [`disseminate`], monomorphized back to the uninstrumented engine.
+///
+/// # Panics
+///
+/// Panics if `origin` is not a live node of the overlay.
+pub fn disseminate_probed<P: Probe>(
+    overlay: &dyn Overlay,
+    selector: &dyn GossipTargetSelector,
+    origin: NodeId,
+    rng: &mut dyn RngCore,
+    probe: &mut P,
+) -> DisseminationReport {
     assert!(
         overlay.is_live(origin),
         "dissemination origin {origin} is not a live node"
     );
 
     let population = overlay.live_count();
+    probe.record(TraceEvent::RunStart {
+        origin: origin.as_u64(),
+        population: population as u64,
+    });
+    probe.record(TraceEvent::Delivered {
+        node: origin.as_u64(),
+        from: origin.as_u64(),
+        hop: 0,
+        outcome: DeliveryOutcome::Virgin,
+    });
     let mut notified: BTreeSet<NodeId> = BTreeSet::new();
     notified.insert(origin);
 
@@ -79,6 +111,7 @@ pub fn disseminate(
 
     while !frontier.is_empty() {
         hop += 1;
+        let hop_u = to_u32(hop);
         let mut next_frontier: Vec<(NodeId, Option<NodeId>)> = Vec::new();
         let mut hop_messages = 0usize;
         let mut hop_new = 0usize;
@@ -88,8 +121,19 @@ pub fn disseminate(
             *forwarded_counts.entry(node).or_insert(0) += targets.len();
             hop_messages += targets.len();
             for target in targets {
+                probe.record(TraceEvent::Sent {
+                    from: node.as_u64(),
+                    to: target.as_u64(),
+                    hop: hop_u,
+                });
                 if !overlay.is_live(target) {
                     messages_to_dead += 1;
+                    probe.record(TraceEvent::Delivered {
+                        node: target.as_u64(),
+                        from: node.as_u64(),
+                        hop: hop_u,
+                        outcome: DeliveryOutcome::Dead,
+                    });
                     continue;
                 }
                 *received_counts.entry(target).or_insert(0) += 1;
@@ -97,8 +141,20 @@ pub fn disseminate(
                     messages_to_virgin += 1;
                     hop_new += 1;
                     next_frontier.push((target, Some(node)));
+                    probe.record(TraceEvent::Delivered {
+                        node: target.as_u64(),
+                        from: node.as_u64(),
+                        hop: hop_u,
+                        outcome: DeliveryOutcome::Virgin,
+                    });
                 } else {
                     messages_to_notified += 1;
+                    probe.record(TraceEvent::Delivered {
+                        node: target.as_u64(),
+                        from: node.as_u64(),
+                        hop: hop_u,
+                        outcome: DeliveryOutcome::Duplicate,
+                    });
                 }
             }
         }
@@ -108,8 +164,16 @@ pub fn disseminate(
         if hop_new > 0 {
             last_hop = hop;
         }
+        probe.record(TraceEvent::HopEnd {
+            hop: hop_u,
+            new: hop_new as u64,
+            messages: hop_messages as u64,
+        });
         frontier = next_frontier;
     }
+    probe.record(TraceEvent::RunEnd {
+        reached: notified.len() as u64,
+    });
 
     let unreached: Vec<NodeId> = overlay
         .live_node_ids()
@@ -269,7 +333,27 @@ pub fn disseminate_dense(
     rng: &mut dyn RngCore,
     scratch: &mut DenseScratch,
 ) -> DisseminationReport {
-    let stats = disseminate_dense_stats(overlay, selector, origin, rng, scratch);
+    disseminate_dense_probed(overlay, selector, origin, rng, scratch, &mut NullProbe)
+}
+
+/// [`disseminate_dense`] with a [`Probe`] attached.
+///
+/// Emits exactly the event stream [`disseminate_probed`] emits for the
+/// same overlay, selector, origin and seed — events carry raw `u64` node
+/// ids, so the dense index layout is invisible in the trace.
+///
+/// # Panics
+///
+/// Panics if `origin` is not a live node of the overlay.
+pub fn disseminate_dense_probed<P: Probe>(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    rng: &mut dyn RngCore,
+    scratch: &mut DenseScratch,
+    probe: &mut P,
+) -> DisseminationReport {
+    let stats = disseminate_dense_stats_probed(overlay, selector, origin, rng, scratch, probe);
     materialize_dense_report(overlay, origin, stats, scratch)
 }
 
@@ -335,6 +419,26 @@ pub fn disseminate_dense_stats(
     rng: &mut dyn RngCore,
     scratch: &mut DenseScratch,
 ) -> DenseRunStats {
+    disseminate_dense_stats_probed(overlay, selector, origin, rng, scratch, &mut NullProbe)
+}
+
+/// [`disseminate_dense_stats`] with a [`Probe`] attached: the
+/// allocation-free hot loop, emitting the same structured trace stream as
+/// [`disseminate_probed`]. With an allocation-free sink (the ring buffer,
+/// a metrics registry, or [`NullProbe`]) the warm-run zero-allocation
+/// contract holds unchanged — `tests/zero_alloc.rs` pins both modes.
+///
+/// # Panics
+///
+/// Panics if `origin` is not a live node of the overlay.
+pub fn disseminate_dense_stats_probed<P: Probe>(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    rng: &mut dyn RngCore,
+    scratch: &mut DenseScratch,
+    probe: &mut P,
+) -> DenseRunStats {
     let origin_idx = overlay.index_of(origin).filter(|&i| overlay.is_live_idx(i));
     let Some(origin_idx) = origin_idx else {
         panic!("dissemination origin {origin} is not a live node");
@@ -354,6 +458,16 @@ pub fn disseminate_dense_stats(
         per_hop_messages,
     } = scratch;
 
+    probe.record(TraceEvent::RunStart {
+        origin: origin.as_u64(),
+        population: overlay.live_len() as u64,
+    });
+    probe.record(TraceEvent::Delivered {
+        node: origin.as_u64(),
+        from: origin.as_u64(),
+        hop: 0,
+        outcome: DeliveryOutcome::Virgin,
+    });
     notified.set(origin_idx);
     frontier.push((origin_idx, NO_NODE));
 
@@ -367,6 +481,7 @@ pub fn disseminate_dense_stats(
 
     while !frontier.is_empty() {
         hop += 1;
+        let hop_u = to_u32(hop);
         let mut hop_messages = 0usize;
         let mut hop_new = 0usize;
 
@@ -374,9 +489,22 @@ pub fn disseminate_dense_stats(
             selector.select_dense(overlay, node, from, rng, targets, pool);
             forwarded[idx(node)] += to_u32(targets.len());
             hop_messages += targets.len();
+            let from_id = overlay.node_id(node).as_u64();
             for &target in targets.iter() {
+                let target_id = overlay.node_id(target).as_u64();
+                probe.record(TraceEvent::Sent {
+                    from: from_id,
+                    to: target_id,
+                    hop: hop_u,
+                });
                 if !overlay.is_live_idx(target) {
                     messages_to_dead += 1;
+                    probe.record(TraceEvent::Delivered {
+                        node: target_id,
+                        from: from_id,
+                        hop: hop_u,
+                        outcome: DeliveryOutcome::Dead,
+                    });
                     continue;
                 }
                 received[idx(target)] += 1;
@@ -384,8 +512,20 @@ pub fn disseminate_dense_stats(
                     messages_to_virgin += 1;
                     hop_new += 1;
                     next_frontier.push((target, node));
+                    probe.record(TraceEvent::Delivered {
+                        node: target_id,
+                        from: from_id,
+                        hop: hop_u,
+                        outcome: DeliveryOutcome::Virgin,
+                    });
                 } else {
                     messages_to_notified += 1;
+                    probe.record(TraceEvent::Delivered {
+                        node: target_id,
+                        from: from_id,
+                        hop: hop_u,
+                        outcome: DeliveryOutcome::Duplicate,
+                    });
                 }
             }
         }
@@ -395,9 +535,17 @@ pub fn disseminate_dense_stats(
         if hop_new > 0 {
             last_hop = hop;
         }
+        probe.record(TraceEvent::HopEnd {
+            hop: hop_u,
+            new: hop_new as u64,
+            messages: hop_messages as u64,
+        });
         std::mem::swap(frontier, next_frontier);
         next_frontier.clear();
     }
+    probe.record(TraceEvent::RunEnd {
+        reached: (1 + messages_to_virgin) as u64,
+    });
 
     DenseRunStats {
         population: overlay.live_len(),

@@ -13,13 +13,20 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::NodeId;
+use hybridcast_obs::Probe;
 
-use crate::async_engine::{disseminate_async_dense, AsyncConfig, AsyncReport, DenseAsyncScratch};
-use crate::engine::{disseminate, disseminate_dense, DenseScratch};
+use crate::async_engine::{
+    disseminate_async_dense, disseminate_async_dense_probed, AsyncConfig, AsyncReport,
+    DenseAsyncScratch,
+};
+use crate::engine::{disseminate, disseminate_dense, disseminate_dense_probed, DenseScratch};
 use crate::metrics::DisseminationReport;
 use crate::overlay::{DenseOverlay, Overlay};
 use crate::protocols::{DenseSelector, GossipTargetSelector};
-use crate::pull::{disseminate_push_pull_dense, DensePullScratch, PullConfig, PushPullReport};
+use crate::pull::{
+    disseminate_push_pull_dense, disseminate_push_pull_dense_probed, DensePullScratch, PullConfig,
+    PushPullReport,
+};
 
 /// Aggregate statistics over a set of disseminations with identical
 /// configuration (same overlay, protocol and fanout).
@@ -176,6 +183,30 @@ pub fn run_seeded_disseminations(
     })
 }
 
+/// The sequential, probed twin of [`run_seeded_disseminations`]: same
+/// seeding contract (run `r` is a pure function of `(master_seed, r)`), so
+/// the reports are bit-identical to the parallel driver at any thread
+/// count — the probe merely observes every run, in run order, through one
+/// shared scratch.
+pub fn run_seeded_disseminations_probed<P: Probe>(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    runs: usize,
+    master_seed: u64,
+    probe: &mut P,
+) -> Vec<DisseminationReport> {
+    let live = overlay.live_indices();
+    assert!(!live.is_empty(), "overlay has no live nodes");
+    let mut scratch = DenseScratch::new();
+    (0..runs)
+        .map(|run| {
+            let mut rng = ChaCha8Rng::seed_from_u64(run_seed(master_seed, run as u64));
+            let origin = overlay.node_id(live[rng.gen_range(0..live.len())]);
+            disseminate_dense_probed(overlay, selector, origin, &mut rng, &mut scratch, probe)
+        })
+        .collect()
+}
+
 /// Runs `runs` independent event-driven (latency-model) disseminations over
 /// a frozen dense overlay, fanned out across `threads` worker threads, and
 /// returns the [`AsyncReport`]s in run order.
@@ -212,6 +243,36 @@ pub fn run_seeded_async(
     )
 }
 
+/// The sequential, probed twin of [`run_seeded_async`]: bit-identical
+/// reports, with every run's event stream observed in run order.
+pub fn run_seeded_async_probed<P: Probe>(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    config: &AsyncConfig,
+    runs: usize,
+    master_seed: u64,
+    probe: &mut P,
+) -> Vec<AsyncReport> {
+    let live = overlay.live_indices();
+    assert!(!live.is_empty(), "overlay has no live nodes");
+    let mut scratch = DenseAsyncScratch::new();
+    (0..runs)
+        .map(|run| {
+            let mut rng = ChaCha8Rng::seed_from_u64(run_seed(master_seed, run as u64));
+            let origin = overlay.node_id(live[rng.gen_range(0..live.len())]);
+            disseminate_async_dense_probed(
+                overlay,
+                selector,
+                origin,
+                config,
+                &mut rng,
+                &mut scratch,
+                probe,
+            )
+        })
+        .collect()
+}
+
 /// Runs `runs` independent push + pull-anti-entropy disseminations over a
 /// frozen dense overlay, fanned out across `threads` worker threads, and
 /// returns the [`PushPullReport`]s in run order.
@@ -241,6 +302,36 @@ pub fn run_seeded_push_pulls(
         let origin = overlay.node_id(live[rng.gen_range(0..live.len())]);
         disseminate_push_pull_dense(overlay, selector, origin, config, &mut rng, scratch)
     })
+}
+
+/// The sequential, probed twin of [`run_seeded_push_pulls`]: bit-identical
+/// reports, with every run's event stream observed in run order.
+pub fn run_seeded_push_pulls_probed<P: Probe>(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    config: &PullConfig,
+    runs: usize,
+    master_seed: u64,
+    probe: &mut P,
+) -> Vec<PushPullReport> {
+    let live = overlay.live_indices();
+    assert!(!live.is_empty(), "overlay has no live nodes");
+    let mut scratch = DensePullScratch::new();
+    (0..runs)
+        .map(|run| {
+            let mut rng = ChaCha8Rng::seed_from_u64(run_seed(master_seed, run as u64));
+            let origin = overlay.node_id(live[rng.gen_range(0..live.len())]);
+            disseminate_push_pull_dense_probed(
+                overlay,
+                selector,
+                origin,
+                config,
+                &mut rng,
+                &mut scratch,
+                probe,
+            )
+        })
+        .collect()
 }
 
 /// The shared thread fan-out of every seeded driver: splits `runs` into

@@ -93,19 +93,21 @@ pub mod pubsub;
 pub mod pull;
 
 pub use async_engine::{
-    disseminate_async, disseminate_async_dense, disseminate_async_frozen, AsyncConfig, AsyncReport,
-    DenseAsyncScratch,
+    disseminate_async, disseminate_async_dense, disseminate_async_dense_probed,
+    disseminate_async_frozen, disseminate_async_frozen_probed, disseminate_async_probed,
+    AsyncConfig, AsyncReport, DenseAsyncScratch,
 };
-pub use engine::{disseminate, disseminate_dense, DenseScratch};
+pub use engine::{disseminate, disseminate_dense, disseminate_dense_probed, DenseScratch};
 pub use experiment::{
-    run_parallel_experiment, run_seed, run_seeded_async, run_seeded_disseminations,
-    run_seeded_push_pulls,
+    run_parallel_experiment, run_seed, run_seeded_async, run_seeded_async_probed,
+    run_seeded_disseminations, run_seeded_disseminations_probed, run_seeded_push_pulls,
+    run_seeded_push_pulls_probed,
 };
 pub use metrics::DisseminationReport;
 pub use netmodel::{DelayModel, LossModel, NetModel, PartitionEvent};
 pub use overlay::{DenseOverlay, Overlay, SnapshotOverlay, StaticOverlay};
 pub use protocols::{DenseSelector, Flooding, GossipTargetSelector, RandCast, RingCast};
 pub use pull::{
-    disseminate_push_pull, disseminate_push_pull_dense, DensePullScratch, PullConfig,
-    PushPullReport,
+    disseminate_push_pull, disseminate_push_pull_dense, disseminate_push_pull_dense_probed,
+    disseminate_push_pull_probed, DensePullScratch, PullConfig, PushPullReport,
 };

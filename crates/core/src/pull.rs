@@ -48,13 +48,15 @@ use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::cast::{idx, to_u32};
 use hybridcast_graph::NodeId;
+use hybridcast_obs::{NullProbe, Probe, TraceEvent};
 
 use crate::engine::{
-    disseminate, disseminate_dense_stats, materialize_dense_report, DenseRunStats, DenseScratch,
+    disseminate_dense_stats_probed, disseminate_probed, materialize_dense_report, DenseRunStats,
+    DenseScratch,
 };
 use crate::metrics::DisseminationReport;
 use crate::netmodel::NetModel;
-use crate::overlay::{DenseBits, DenseOverlay, Overlay};
+use crate::overlay::{DenseBits, DenseOverlay, Overlay, NO_NODE};
 use crate::protocols::{DenseSelector, GossipTargetSelector};
 
 /// Configuration of the pull phase.
@@ -174,8 +176,27 @@ pub fn disseminate_push_pull(
     config: &PullConfig,
     rng: &mut dyn RngCore,
 ) -> PushPullReport {
+    disseminate_push_pull_probed(overlay, selector, origin, config, rng, &mut NullProbe)
+}
+
+/// [`disseminate_push_pull`] with a [`Probe`] attached: the push phase
+/// emits its usual stream, then each pull round adds `PullRequest`,
+/// `PollBlocked` / `PollLost`, `PullTransfer` and `RoundEnd` events.
+/// Probes never touch the RNG, so the report is identical for any probe.
+///
+/// # Panics
+///
+/// Panics if `origin` is not live or the pull configuration is invalid.
+pub fn disseminate_push_pull_probed<P: Probe>(
+    overlay: &dyn Overlay,
+    selector: &dyn GossipTargetSelector,
+    origin: NodeId,
+    config: &PullConfig,
+    rng: &mut dyn RngCore,
+    probe: &mut P,
+) -> PushPullReport {
     config.validate().expect("invalid pull configuration");
-    let push = disseminate(overlay, selector, origin, rng);
+    let push = disseminate_probed(overlay, selector, origin, rng, probe);
 
     let mut holders: BTreeSet<NodeId> = overlay
         .live_node_ids()
@@ -206,32 +227,57 @@ pub fn disseminate_push_pull(
             neighbours.shuffle(rng);
             neighbours.truncate(config.fanout);
             pull_requests += neighbours.len();
+            let round_u = to_u32(pull_rounds);
             // Every poll draws its loss sample (no short-circuit): the
             // draw schedule must not depend on holder state, or the dense
             // engine's stream would drift from the oracle's.
-            let mut success = false;
+            let mut serving: Option<NodeId> = None;
             for &peer in &neighbours {
+                probe.record(TraceEvent::PullRequest {
+                    from: node.as_u64(),
+                    to: peer.as_u64(),
+                    round: round_u,
+                });
                 if config.net.blocks(node, peer, round_time) {
                     polls_blocked += 1;
+                    probe.record(TraceEvent::PollBlocked {
+                        from: node.as_u64(),
+                        to: peer.as_u64(),
+                        round: round_u,
+                    });
                     continue;
                 }
                 if !config.net.loss.is_none() {
                     let bad = ge_bad.entry(node).or_insert(false);
                     if config.net.loss.sample(bad, rng) {
                         polls_lost += 1;
+                        probe.record(TraceEvent::PollLost {
+                            from: node.as_u64(),
+                            to: peer.as_u64(),
+                            round: round_u,
+                        });
                         continue;
                     }
                 }
-                if holders.contains(&peer) {
-                    success = true;
+                if holders.contains(&peer) && serving.is_none() {
+                    serving = Some(peer);
                 }
             }
-            if success {
+            if let Some(peer) = serving {
                 pull_transfers += 1;
                 obtained_this_round.push(node);
+                probe.record(TraceEvent::PullTransfer {
+                    from: node.as_u64(),
+                    to: peer.as_u64(),
+                    round: round_u,
+                });
             }
         }
         per_round_new.push(obtained_this_round.len());
+        probe.record(TraceEvent::RoundEnd {
+            round: to_u32(pull_rounds),
+            new: obtained_this_round.len() as u64,
+        });
         if obtained_this_round.is_empty()
             && per_round_new.len() >= 3
             && per_round_new.iter().rev().take(3).all(|&n| n == 0)
@@ -371,7 +417,37 @@ pub fn disseminate_push_pull_dense(
     rng: &mut dyn RngCore,
     scratch: &mut DensePullScratch,
 ) -> PushPullReport {
-    let stats = disseminate_push_pull_dense_stats(overlay, selector, origin, config, rng, scratch);
+    disseminate_push_pull_dense_probed(
+        overlay,
+        selector,
+        origin,
+        config,
+        rng,
+        scratch,
+        &mut NullProbe,
+    )
+}
+
+/// [`disseminate_push_pull_dense`] with a [`Probe`] attached.
+///
+/// Emits exactly the event stream [`disseminate_push_pull_probed`] emits
+/// for the same overlay, selector, origin, configuration and seed.
+///
+/// # Panics
+///
+/// Panics if `origin` is not live or the pull configuration is invalid.
+pub fn disseminate_push_pull_dense_probed<P: Probe>(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    config: &PullConfig,
+    rng: &mut dyn RngCore,
+    scratch: &mut DensePullScratch,
+    probe: &mut P,
+) -> PushPullReport {
+    let stats = disseminate_push_pull_dense_stats_probed(
+        overlay, selector, origin, config, rng, scratch, probe,
+    );
 
     // Convert back to the id-keyed report; dense indices ascend by id, so
     // the unreached list is ordered exactly like the generic engine's.
@@ -414,8 +490,36 @@ pub fn disseminate_push_pull_dense_stats(
     rng: &mut dyn RngCore,
     scratch: &mut DensePullScratch,
 ) -> DensePullRunStats {
+    disseminate_push_pull_dense_stats_probed(
+        overlay,
+        selector,
+        origin,
+        config,
+        rng,
+        scratch,
+        &mut NullProbe,
+    )
+}
+
+/// [`disseminate_push_pull_dense_stats`] with a [`Probe`] attached: the
+/// allocation-free hot loop. With an allocation-free sink the warm-run
+/// zero-allocation contract holds unchanged.
+///
+/// # Panics
+///
+/// Panics if `origin` is not live or the pull configuration is invalid.
+pub fn disseminate_push_pull_dense_stats_probed<P: Probe>(
+    overlay: &DenseOverlay,
+    selector: &DenseSelector,
+    origin: NodeId,
+    config: &PullConfig,
+    rng: &mut dyn RngCore,
+    scratch: &mut DensePullScratch,
+    probe: &mut P,
+) -> DensePullRunStats {
     config.validate().expect("invalid pull configuration");
-    let push = disseminate_dense_stats(overlay, selector, origin, rng, &mut scratch.push);
+    let push =
+        disseminate_dense_stats_probed(overlay, selector, origin, rng, &mut scratch.push, probe);
 
     let len = overlay.len();
     let DensePullScratch {
@@ -461,34 +565,61 @@ pub fn disseminate_push_pull_dense_stats(
             neighbours.shuffle(rng);
             neighbours.truncate(config.fanout);
             pull_requests += neighbours.len();
+            let round_u = to_u32(pull_rounds);
+            let node_id = overlay.node_id(node).as_u64();
             // Same full-scan (no short-circuit) poll loop as the oracle:
             // every poll draws its loss sample in neighbour order.
-            let mut success = false;
+            let mut serving = NO_NODE;
             for &peer in neighbours.iter() {
+                let peer_id = overlay.node_id(peer).as_u64();
+                probe.record(TraceEvent::PullRequest {
+                    from: node_id,
+                    to: peer_id,
+                    round: round_u,
+                });
                 if config
                     .net
                     .blocks(overlay.node_id(node), overlay.node_id(peer), round_time)
                 {
                     polls_blocked += 1;
+                    probe.record(TraceEvent::PollBlocked {
+                        from: node_id,
+                        to: peer_id,
+                        round: round_u,
+                    });
                     continue;
                 }
                 if !config.net.loss.is_none() {
                     let bad = &mut ge_bad[idx(node)];
                     if config.net.loss.sample(bad, rng) {
                         polls_lost += 1;
+                        probe.record(TraceEvent::PollLost {
+                            from: node_id,
+                            to: peer_id,
+                            round: round_u,
+                        });
                         continue;
                     }
                 }
-                if holders.get(peer) {
-                    success = true;
+                if holders.get(peer) && serving == NO_NODE {
+                    serving = peer;
                 }
             }
-            if success {
+            if serving != NO_NODE {
                 pull_transfers += 1;
                 obtained.push(node);
+                probe.record(TraceEvent::PullTransfer {
+                    from: node_id,
+                    to: overlay.node_id(serving).as_u64(),
+                    round: round_u,
+                });
             }
         }
         per_round_new.push(obtained.len());
+        probe.record(TraceEvent::RoundEnd {
+            round: to_u32(pull_rounds),
+            new: obtained.len() as u64,
+        });
         if obtained.is_empty()
             && per_round_new.len() >= 3
             && per_round_new.iter().rev().take(3).all(|&n| n == 0)
@@ -517,6 +648,7 @@ pub fn disseminate_push_pull_dense_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::disseminate;
     use crate::overlay::{SnapshotOverlay, StaticOverlay};
     use crate::protocols::{RandCast, RingCast};
     use hybridcast_graph::builders;

@@ -13,7 +13,7 @@ use std::fmt;
 /// One allowlist entry: rule + path (+ optional detail) + justification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id the exception applies to (`D1`..`D4`, `A1`).
+    /// Rule id the exception applies to (`D1`..`D5`, `A1`).
     pub rule: String,
     /// Repo-relative path (forward slashes) the exception covers.
     pub path: String,
@@ -31,7 +31,7 @@ pub struct AllowEntry {
 pub struct Config {
     /// Explicit exceptions.
     pub allows: Vec<AllowEntry>,
-    /// Files rule D3 (no raw index casts) governs.
+    /// Files rules D3 (no raw index casts) and D5 (no `dyn Probe`) govern.
     pub hot_paths: Vec<String>,
 }
 

@@ -21,6 +21,10 @@
 //! * **D4** `forbid-unsafe` — every first-party crate root carries
 //!   `#![forbid(unsafe_code)]`, and the vendored shims are inventoried into
 //!   `docs/UNSAFE_INVENTORY.md` (regenerate with `--write-inventory`).
+//! * **D5** `no-dyn-probe` — `dyn Probe` in the hot-path files: the probe
+//!   layer is zero-cost only while the engines stay generic over
+//!   `P: Probe`; a trait object there costs a virtual call per event.
+//!   Binaries box probes freely.
 //! * **A1** `allow-attr` — every `#[allow(...)]` in first-party code needs
 //!   a justified `lint.toml` entry; unused allowlist entries are errors, so
 //!   stale exceptions cannot linger.

@@ -1,6 +1,6 @@
 //! The `hybridcast-lint` binary: `cargo run -p lint --release`.
 //!
-//! Scans the workspace sources against rules D1–D4 + A1 (see the crate
+//! Scans the workspace sources against rules D1–D5 + A1 (see the crate
 //! docs), verifies `docs/UNSAFE_INVENTORY.md` matches `vendor/`, and exits
 //! non-zero with `file:line: rule: message` diagnostics on any violation.
 //! `--write-inventory` regenerates the inventory file instead of verifying

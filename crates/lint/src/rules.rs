@@ -13,7 +13,7 @@ pub struct Violation {
     pub path: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`D1`..`D4`, `A1`).
+    /// Rule id (`D1`..`D5`, `A1`).
     pub rule: &'static str,
     /// Human-readable explanation with the fix.
     pub message: String,
@@ -210,6 +210,61 @@ pub fn check_forbid_unsafe(
     }
 }
 
+/// **D5** `no-dyn-probe`: `dyn Probe` in the `[hot-paths]` files. The probe
+/// layer is zero-cost only because the engines monomorphize over
+/// `P: Probe` and `NullProbe` inlines to nothing; a trait object in a hot
+/// path reintroduces a virtual call per event. Binaries and non-hot files
+/// may box probes freely — the dispatch cost there is one closure, not one
+/// per message. Test modules are exempt, like D3.
+pub fn check_dyn_probe(
+    path: &str,
+    tokens: &[Token],
+    config: &Config,
+    used: &mut [bool],
+    out: &mut Vec<Violation>,
+) {
+    if !config.hot_paths.iter().any(|p| p == path) {
+        return;
+    }
+    let test_mask = in_cfg_test_mask(tokens);
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("dyn") || test_mask[i] {
+            continue;
+        }
+        // The type after `dyn` is a (possibly qualified) path: idents
+        // separated by `::`. Flag if its last segment is `Probe`.
+        let mut last_segment: Option<&Token> = None;
+        let mut k = i + 1;
+        while let Some(tok) = tokens.get(k) {
+            if tok.is_punct(':') {
+                k += 1;
+            } else if tok
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                last_segment = Some(tok);
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        if last_segment.is_some_and(|s| s.is_ident("Probe")) {
+            let finding = Finding {
+                rule: "D5",
+                detail: "dyn Probe".to_string(),
+                line: t.line,
+                message: "`dyn Probe` in a hot-path file adds a virtual call per event; \
+                          keep the engine generic over `P: Probe` so NullProbe erases \
+                          (box the probe in the binary instead)"
+                    .to_string(),
+            };
+            push_unless_allowed(out, used, config, path, finding);
+        }
+    }
+}
+
 /// **A1** `allow-attr`: every `#[allow(lint::path)]` in first-party code
 /// needs a justified lint.toml entry — exceptions are reviewed in one
 /// place, not scattered.
@@ -268,6 +323,7 @@ mod tests {
         check_hash_collections(path, &tokens, config, &mut used, &mut out);
         check_ambient_entropy(path, &tokens, config, &mut used, &mut out);
         check_raw_index_casts(path, &tokens, config, &mut used, &mut out);
+        check_dyn_probe(path, &tokens, config, &mut used, &mut out);
         check_allow_attrs(path, &tokens, config, &mut used, &mut out);
         out
     }
@@ -337,6 +393,27 @@ mod tests {
         let mut out2 = Vec::new();
         check_forbid_unsafe("crates/x/src/lib.rs", &good, &config, &mut used, &mut out2);
         assert!(out2.is_empty());
+    }
+
+    #[test]
+    fn d5_flags_dyn_probe_only_in_hot_paths_and_outside_tests() {
+        let src = "fn f(p: &mut dyn Probe) {}\n\
+                   fn g(p: Box<dyn hybridcast_obs::Probe>) {}\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn h(p: &mut dyn Probe) {} }";
+        let v = run_all("crates/core/src/overlay.rs", src, &hot_config());
+        let d5: Vec<_> = v.iter().filter(|v| v.rule == "D5").collect();
+        assert_eq!(d5.len(), 2, "test module must be exempt: {d5:?}");
+        assert_eq!(d5[0].line, 1);
+        assert_eq!(d5[1].line, 2, "qualified `dyn hybridcast_obs::Probe` too");
+        // Same source outside the hot-path list: clean — binaries may box.
+        assert!(run_all("crates/bench/src/probing.rs", src, &hot_config()).is_empty());
+    }
+
+    #[test]
+    fn d5_ignores_other_trait_objects() {
+        let src = "fn f(w: &mut dyn std::io::Write, e: Box<dyn Error>) {}";
+        assert!(run_all("crates/core/src/overlay.rs", src, &hot_config()).is_empty());
     }
 
     #[test]

@@ -6,8 +6,8 @@ use std::path::{Path, PathBuf};
 use crate::config::Config;
 use crate::lexer::lex;
 use crate::rules::{
-    check_allow_attrs, check_ambient_entropy, check_forbid_unsafe, check_hash_collections,
-    check_raw_index_casts, Violation,
+    check_allow_attrs, check_ambient_entropy, check_dyn_probe, check_forbid_unsafe,
+    check_hash_collections, check_raw_index_casts, Violation,
 };
 
 /// Recursively collects every `.rs` file under `dir` (sorted, skipping
@@ -80,6 +80,7 @@ pub fn scan_workspace(root: &Path, config: &Config) -> Result<Vec<Violation>, St
             check_hash_collections(&rel, &tokens, config, &mut used, &mut out);
             check_ambient_entropy(&rel, &tokens, config, &mut used, &mut out);
             check_raw_index_casts(&rel, &tokens, config, &mut used, &mut out);
+            check_dyn_probe(&rel, &tokens, config, &mut used, &mut out);
             check_allow_attrs(&rel, &tokens, config, &mut used, &mut out);
             if is_crate_root(&rel) {
                 check_forbid_unsafe(&rel, &tokens, config, &mut used, &mut out);

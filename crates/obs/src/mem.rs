@@ -1,0 +1,52 @@
+//! Process memory introspection for the scale gates.
+//!
+//! Reads `/proc/self/status` (Linux only), so callers get `None` on other
+//! platforms and must treat the numbers as advisory. The 1M-node scheduler
+//! work will budget against the peak-RSS number reported here.
+
+/// Peak resident set size (`VmHWM`) of this process, in kilobytes.
+#[must_use]
+pub fn peak_rss_kb() -> Option<u64> {
+    proc_status_kb("VmHWM:")
+}
+
+/// Current resident set size (`VmRSS`) of this process, in kilobytes.
+#[must_use]
+pub fn current_rss_kb() -> Option<u64> {
+    proc_status_kb("VmRSS:")
+}
+
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_kb(&status, field)
+}
+
+/// Parses one `kB` field out of `/proc/self/status` text.
+fn parse_status_kb(status: &str, field: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|line| line.starts_with(field))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_proc_status_fields() {
+        let status = "Name:\ttest\nVmHWM:\t  123456 kB\nVmRSS:\t   98765 kB\n";
+        assert_eq!(parse_status_kb(status, "VmHWM:"), Some(123_456));
+        assert_eq!(parse_status_kb(status, "VmRSS:"), Some(98_765));
+        assert_eq!(parse_status_kb(status, "VmPeak:"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_peak_rss_is_positive() {
+        assert!(peak_rss_kb().unwrap() > 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Probe sinks: where recorded events go.
+//!
+//! Three sinks cover the intended uses:
+//!
+//! * [`RingSink`] — bounded in-memory buffer, overwrites the oldest event
+//!   once full. Never allocates after construction, so it can ride inside
+//!   the zero-allocation engine hot paths (`tests/zero_alloc.rs` pins
+//!   this).
+//! * [`VecProbe`] — unbounded buffer for tests and golden fixtures.
+//! * [`JsonlProbe`] — streams one JSON object per event to any
+//!   `io::Write`, prefixed with a [`TraceEvent::Schema`] header line.
+
+use std::io::Write;
+
+use crate::event::{TraceEvent, SCHEMA_VERSION};
+use crate::Probe;
+
+/// Bounded ring-buffer sink: keeps the most recent `capacity` events.
+///
+/// The buffer is fully reserved at construction; `record` never allocates,
+/// which is what lets an instrumented dense engine run stay inside the
+/// warm-run zero-allocation contract.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next overwrite position once the buffer is full.
+    head: usize,
+    total: u64,
+}
+
+impl RingSink {
+    /// Creates a sink holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events currently retained, oldest first.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drops all retained events without releasing the buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.total = 0;
+    }
+}
+
+impl Probe for RingSink {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+        }
+    }
+}
+
+/// Unbounded sink collecting every event, for tests and golden fixtures.
+#[derive(Debug, Clone, Default)]
+pub struct VecProbe {
+    /// Every recorded event, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecProbe {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        VecProbe::default()
+    }
+}
+
+impl Probe for VecProbe {
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Streams events as JSON Lines to a writer (one object per line).
+///
+/// The first line is always a `Schema` header carrying
+/// [`SCHEMA_VERSION`]. Serialization happens inline, so wrap files in a
+/// `BufWriter`. I/O errors cannot surface through `record`; they are
+/// counted and reported by [`JsonlProbe::finish`].
+#[derive(Debug)]
+pub struct JsonlProbe<W: Write> {
+    writer: W,
+    errors: usize,
+}
+
+impl<W: Write> JsonlProbe<W> {
+    /// Wraps `writer` and emits the schema header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the header cannot be written.
+    pub fn new(mut writer: W) -> std::io::Result<Self> {
+        let header = TraceEvent::Schema {
+            version: SCHEMA_VERSION,
+        };
+        let line = serde_json::to_string(&header)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(writer, "{line}")?;
+        Ok(JsonlProbe { writer, errors: 0 })
+    }
+
+    /// Flushes and returns the writer, failing if any event was lost to an
+    /// I/O or serialization error.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if events were dropped or the final flush fails.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if self.errors > 0 {
+            return Err(std::io::Error::other(format!(
+                "{} trace events failed to serialize or write",
+                self.errors
+            )));
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> Probe for JsonlProbe<W> {
+    fn record(&mut self, event: TraceEvent) {
+        match serde_json::to_string(&event) {
+            Ok(line) => {
+                if writeln!(self.writer, "{line}").is_err() {
+                    self.errors += 1;
+                }
+            }
+            Err(_) => self.errors += 1,
+        }
+    }
+}
+
+/// Parses a JSONL trace produced by [`JsonlProbe`] back into events.
+///
+/// Validates the leading schema header: a missing header or an unknown
+/// version is an error, not a guess.
+///
+/// # Errors
+///
+/// Returns an error on a malformed line, a missing header, or a schema
+/// version this build does not understand.
+pub fn parse_jsonl(input: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: TraceEvent =
+            serde_json::from_str(line).map_err(|e| format!("trace line {}: {e}", i + 1))?;
+        events.push(event);
+    }
+    match events.first() {
+        Some(TraceEvent::Schema { version }) if *version == SCHEMA_VERSION => Ok(events),
+        Some(TraceEvent::Schema { version }) => Err(format!(
+            "trace schema version {version} is not supported (this build reads {SCHEMA_VERSION})"
+        )),
+        _ => Err("trace is missing its leading Schema header line".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DeliveryOutcome;
+
+    fn sent(n: u64) -> TraceEvent {
+        TraceEvent::Sent {
+            from: n,
+            to: n + 1,
+            hop: 1,
+        }
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_most_recent_events_in_order() {
+        let mut sink = RingSink::with_capacity(3);
+        for n in 0..5 {
+            sink.record(sent(n));
+        }
+        assert_eq!(sink.total_recorded(), 5);
+        assert_eq!(sink.to_vec(), vec![sent(2), sent(3), sent(4)]);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn ring_sink_never_allocates_after_construction() {
+        let mut sink = RingSink::with_capacity(8);
+        let before = sink.buf.capacity();
+        for n in 0..1000 {
+            sink.record(sent(n));
+        }
+        assert_eq!(sink.buf.capacity(), before);
+        assert_eq!(sink.len(), 8);
+    }
+
+    #[test]
+    fn jsonl_probe_round_trips_with_schema_header() {
+        let mut probe = JsonlProbe::new(Vec::new()).unwrap();
+        let events = [
+            TraceEvent::RunStart {
+                origin: 3,
+                population: 10,
+            },
+            TraceEvent::Delivered {
+                node: 4,
+                from: 3,
+                hop: 1,
+                outcome: DeliveryOutcome::Virgin,
+            },
+            TraceEvent::RunEnd { reached: 10 },
+        ];
+        for event in events {
+            probe.record(event);
+        }
+        let bytes = probe.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(
+            parsed[0],
+            TraceEvent::Schema {
+                version: SCHEMA_VERSION
+            }
+        );
+        assert_eq!(&parsed[1..], &events);
+    }
+
+    #[test]
+    fn parse_rejects_missing_or_future_schema() {
+        assert!(parse_jsonl("{\"RunEnd\":{\"reached\":1}}").is_err());
+        let future = "{\"Schema\":{\"version\":999}}";
+        let err = parse_jsonl(future).unwrap_err();
+        assert!(err.contains("999"), "{err}");
+    }
+}

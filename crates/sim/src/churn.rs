@@ -15,6 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use hybridcast_graph::NodeId;
+use hybridcast_obs::{NullProbe, Probe, TraceEvent};
 
 use crate::runtime::GossipRuntime;
 
@@ -111,12 +112,33 @@ impl ChurnDriver {
         &mut self,
         network: &mut N,
     ) -> (Vec<NodeId>, Vec<NodeId>) {
+        self.apply_churn_step_probed(network, &mut NullProbe)
+    }
+
+    /// [`ChurnDriver::apply_churn_step`] with a [`Probe`] attached: one
+    /// `Leave` per removed node and one `Join` per added node, in the order
+    /// the runtime processed them, stamped with the runtime's current cycle
+    /// (churn is applied *before* the cycle it perturbs).
+    pub fn apply_churn_step_probed<N, P>(
+        &mut self,
+        network: &mut N,
+        probe: &mut P,
+    ) -> (Vec<NodeId>, Vec<NodeId>)
+    where
+        N: GossipRuntime + ?Sized,
+        P: Probe,
+    {
+        let cycle = network.cycle();
         let count = self.config.nodes_per_cycle(network.len());
         let mut removed = Vec::with_capacity(count);
         for _ in 0..count {
             if let Some(victim) = network.random_live_node() {
                 network.kill_node(victim);
                 removed.push(victim);
+                probe.record(TraceEvent::Leave {
+                    node: victim.as_u64(),
+                    cycle,
+                });
             }
         }
         let mut added = Vec::with_capacity(count);
@@ -124,6 +146,10 @@ impl ChurnDriver {
             let introducer = network.random_live_node();
             let id = network.spawn_node(introducer);
             added.push(id);
+            probe.record(TraceEvent::Join {
+                node: id.as_u64(),
+                cycle,
+            });
         }
         self.removed += removed.len() as u64;
         self.added += added.len() as u64;

@@ -40,6 +40,7 @@ use rand_chacha::ChaCha8Rng;
 use hybridcast_graph::cast::{idx, to_u32};
 use hybridcast_graph::NodeId;
 use hybridcast_membership::proximity::{rank_by_ring_distance_into, ring_neighbors};
+use hybridcast_obs::{NullProbe, Probe, TraceEvent};
 
 use crate::config::SimConfig;
 use crate::runtime::GossipRuntime;
@@ -410,12 +411,20 @@ impl DenseSimNetwork {
 
     /// Runs `count` gossip cycles (epoch steps).
     pub fn run_cycles(&mut self, count: usize) {
+        self.run_cycles_probed(count, &mut NullProbe);
+    }
+
+    /// [`DenseSimNetwork::run_cycles`] with a [`Probe`] attached: one
+    /// `ViewExchange` per gossiping node (in shuffle order) and a
+    /// `CycleEnd` per cycle — the same stream, record for record, that
+    /// [`crate::Network::run_cycles_probed`] emits from the same seed.
+    pub fn run_cycles_probed<P: Probe>(&mut self, count: usize, probe: &mut P) {
         for _ in 0..count {
-            self.run_single_cycle();
+            self.run_single_cycle_probed(probe);
         }
     }
 
-    fn run_single_cycle(&mut self) {
+    fn run_single_cycle_probed<P: Probe>(&mut self, probe: &mut P) {
         self.cycle += 1;
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.order.clear();
@@ -429,12 +438,20 @@ impl DenseSimNetwork {
                 continue;
             }
             let my_id = self.ids[idx(slot)];
+            probe.record(TraceEvent::ViewExchange {
+                node: my_id,
+                cycle: self.cycle,
+            });
             self.cyclon_gossip(slot, my_id, &mut scratch);
             for ring in 0..self.vic_rings {
                 self.vicinity_gossip(slot, my_id, ring, &mut scratch);
             }
         }
         self.scratch = scratch;
+        probe.record(TraceEvent::CycleEnd {
+            cycle: self.cycle,
+            live: self.len() as u64,
+        });
     }
 
     // ---- Cyclon over the arena ------------------------------------------

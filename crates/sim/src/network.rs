@@ -11,6 +11,7 @@ use hybridcast_membership::cyclon::CyclonNode;
 use hybridcast_membership::descriptor::Descriptor;
 use hybridcast_membership::proximity::RingPosition;
 use hybridcast_membership::vicinity::{PendingExchange, VicinityNode};
+use hybridcast_obs::{NullProbe, Probe, TraceEvent};
 
 use crate::config::SimConfig;
 use crate::runtime::GossipRuntime;
@@ -213,12 +214,22 @@ impl Network {
     /// Exchanges towards dead nodes fail silently, exactly as a timed-out
     /// gossip would in a deployed system.
     pub fn run_cycles(&mut self, count: usize) {
+        self.run_cycles_probed(count, &mut NullProbe);
+    }
+
+    /// [`Network::run_cycles`] with a [`Probe`] attached: one
+    /// `ViewExchange` per gossiping node (in shuffle order) and a
+    /// `CycleEnd` per cycle. The probe never touches the simulation RNG,
+    /// so the network evolves bit-identically to the unprobed call — and
+    /// the stream matches [`crate::DenseSimNetwork::run_cycles_probed`]'s
+    /// record for record when both runtimes were built from the same seed.
+    pub fn run_cycles_probed<P: Probe>(&mut self, count: usize, probe: &mut P) {
         for _ in 0..count {
-            self.run_single_cycle();
+            self.run_single_cycle_probed(probe);
         }
     }
 
-    fn run_single_cycle(&mut self) {
+    fn run_single_cycle_probed<P: Probe>(&mut self, probe: &mut P) {
         self.cycle += 1;
         let mut order = self.live_ids();
         order.shuffle(&mut self.rng);
@@ -228,8 +239,16 @@ impl Network {
             if !self.nodes.contains_key(&id) {
                 continue;
             }
+            probe.record(TraceEvent::ViewExchange {
+                node: id.as_u64(),
+                cycle: self.cycle,
+            });
             self.gossip_once(id);
         }
+        probe.record(TraceEvent::CycleEnd {
+            cycle: self.cycle,
+            live: self.len() as u64,
+        });
     }
 
     /// Runs the per-cycle gossip of a single node (ageing, one Cyclon

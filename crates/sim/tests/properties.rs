@@ -145,4 +145,46 @@ proptest! {
             prop_assert_eq!(d, expected_d.as_slice());
         }
     }
+
+    /// The probed runtimes emit **identical** trace streams: one
+    /// `ViewExchange` per gossiping node in shuffle order, one `CycleEnd`
+    /// per cycle, and matching `Leave`/`Join` pairs for every churn step —
+    /// the membership-layer counterpart of the engine stream differentials
+    /// in `crates/core/tests/trace.rs`. The snapshots must stay equal too:
+    /// probes observe, they never steer.
+    #[test]
+    fn probed_runtimes_emit_identical_event_streams(
+        nodes in 2usize..30,
+        rings in 1usize..3,
+        warm_cycles in 1usize..15,
+        churn_steps in 0usize..8,
+        churn_rate in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SimConfig {
+            nodes,
+            rings,
+            warmup_cycles: 0,
+            ..SimConfig::default()
+        };
+        let mut dense = DenseSimNetwork::new(cfg.clone(), seed);
+        let mut btree = Network::new(cfg, seed);
+        let mut dense_probe = hybridcast_obs::VecProbe::new();
+        let mut btree_probe = hybridcast_obs::VecProbe::new();
+
+        dense.run_cycles_probed(warm_cycles, &mut dense_probe);
+        btree.run_cycles_probed(warm_cycles, &mut btree_probe);
+
+        let mut dense_driver = ChurnDriver::new(ChurnConfig { rate: churn_rate });
+        let mut btree_driver = ChurnDriver::new(ChurnConfig { rate: churn_rate });
+        for _ in 0..churn_steps {
+            dense_driver.apply_churn_step_probed(&mut dense, &mut dense_probe);
+            dense.run_cycles_probed(1, &mut dense_probe);
+            btree_driver.apply_churn_step_probed(&mut btree, &mut btree_probe);
+            btree.run_cycles_probed(1, &mut btree_probe);
+        }
+
+        prop_assert_eq!(dense_probe.events, btree_probe.events);
+        prop_assert_eq!(dense.overlay_snapshot(), btree.overlay_snapshot());
+    }
 }

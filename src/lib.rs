@@ -5,7 +5,9 @@
 //! * [`hybridcast_membership`] — Cyclon and Vicinity membership protocols,
 //! * [`hybridcast_sim`] — cycle-driven simulator,
 //! * [`hybridcast_core`] — dissemination protocols (RandCast, RingCast, ...),
-//! * [`hybridcast_net`] — real-transport runtime.
+//! * [`hybridcast_net`] — real-transport runtime,
+//! * [`hybridcast_obs`] — zero-cost probe layer (trace events, metrics,
+//!   stage profiling).
 //!
 //! # Example: warm an overlay, then disseminate with RingCast
 //!
@@ -32,4 +34,5 @@ pub use hybridcast_core as core;
 pub use hybridcast_graph as graph;
 pub use hybridcast_membership as membership;
 pub use hybridcast_net as net;
+pub use hybridcast_obs as obs;
 pub use hybridcast_sim as sim;

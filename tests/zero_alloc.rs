@@ -11,16 +11,24 @@
 //! The warm and cold runs use the same seed so the warm run's buffer demand
 //! is identical to the capacity the cold run established — any allocation
 //! observed is a genuine hot-loop regression, not workload variance.
+//!
+//! The probe layer is held to the same contract in both of its modes:
+//! `NullProbe` runs must be allocation-free and bit-identical to the
+//! unprobed engines, and recording into a warmed bounded `RingSink` must
+//! stay allocation-free too.
 
+use hybridcast::core::async_engine::disseminate_async_dense_stats_probed;
 use hybridcast::core::async_engine::{
     disseminate_async_dense_stats, AsyncConfig, DenseAsyncScratch,
 };
+use hybridcast::core::engine::disseminate_dense_stats_probed;
 use hybridcast::core::engine::{disseminate_dense_stats, DenseScratch};
 use hybridcast::core::netmodel::{DelayModel, LossModel, NetModel};
 use hybridcast::core::overlay::DenseOverlay;
 use hybridcast::core::protocols::DenseSelector;
 use hybridcast::core::pull::{disseminate_push_pull_dense_stats, DensePullScratch, PullConfig};
 use hybridcast::graph::NodeId;
+use hybridcast::obs::{NullProbe, RingSink};
 use hybridcast::sim::{DenseSimNetwork, SimConfig};
 use hybridcast_testalloc::{measure, CountingAlloc};
 use rand::SeedableRng;
@@ -72,6 +80,148 @@ fn warm_sync_dissemination_is_allocation_free() {
     assert!(
         stats.is_allocation_free(),
         "warm sync dissemination allocated: {stats:?}"
+    );
+}
+
+#[test]
+fn warm_probed_sync_dissemination_is_allocation_free() {
+    // The probe layer's zero-cost contract, both halves: a NullProbe run is
+    // allocation-free AND result-identical to the unprobed engine, and a
+    // recording run over a warmed bounded ring sink is still
+    // allocation-free — observing every event must not touch the heap.
+    let (overlay, origin) = warmed_overlay(1);
+    let selector = DenseSelector::ringcast(3);
+    let mut scratch = DenseScratch::new();
+
+    let baseline = disseminate_dense_stats(&overlay, &selector, origin, &mut rng(7), &mut scratch);
+
+    let (null_run, null_stats) = measure(|| {
+        disseminate_dense_stats_probed(
+            &overlay,
+            &selector,
+            origin,
+            &mut rng(7),
+            &mut scratch,
+            &mut NullProbe,
+        )
+    });
+    assert_eq!(baseline, null_run, "NullProbe must not change the result");
+    assert!(
+        null_stats.is_allocation_free(),
+        "warm NullProbe dissemination allocated: {null_stats:?}"
+    );
+
+    // Pre-sized above any single run's event count; record() overwrites in
+    // place, so the warm recording loop never grows it.
+    let mut sink = RingSink::with_capacity(64 * 1024);
+    let cold = disseminate_dense_stats_probed(
+        &overlay,
+        &selector,
+        origin,
+        &mut rng(7),
+        &mut scratch,
+        &mut sink,
+    );
+    assert_eq!(
+        baseline, cold,
+        "recording probes must not change the result"
+    );
+    let events_per_run = sink.total_recorded();
+    assert!(events_per_run > 0, "the ring sink must observe events");
+    let (ring_run, ring_stats) = measure(|| {
+        disseminate_dense_stats_probed(
+            &overlay,
+            &selector,
+            origin,
+            &mut rng(7),
+            &mut scratch,
+            &mut sink,
+        )
+    });
+    assert_eq!(baseline, ring_run, "same seed must reproduce the same run");
+    assert_eq!(
+        sink.total_recorded(),
+        events_per_run * 2,
+        "the warm run must record the identical event count"
+    );
+    assert!(
+        ring_stats.is_allocation_free(),
+        "warm ring-sink dissemination allocated: {ring_stats:?}"
+    );
+}
+
+#[test]
+fn warm_probed_async_dissemination_is_allocation_free() {
+    // Same contract for the event-driven engine, which emits far more
+    // events (one per send, drop and delivery) than the hop-synchronous
+    // one — the stress case for an allocating probe.
+    let (overlay, origin) = warmed_overlay(2);
+    let selector = DenseSelector::ringcast(3);
+    let config = AsyncConfig {
+        run_membership_gossip: false,
+        ..AsyncConfig::default()
+    };
+    let mut scratch = DenseAsyncScratch::new();
+
+    let baseline = disseminate_async_dense_stats(
+        &overlay,
+        &selector,
+        origin,
+        &config,
+        &mut rng(9),
+        &mut scratch,
+    );
+
+    let (null_run, null_stats) = measure(|| {
+        disseminate_async_dense_stats_probed(
+            &overlay,
+            &selector,
+            origin,
+            &config,
+            &mut rng(9),
+            &mut scratch,
+            &mut NullProbe,
+        )
+    });
+    assert_eq!(baseline, null_run, "NullProbe must not change the result");
+    assert!(
+        null_stats.is_allocation_free(),
+        "warm async NullProbe dissemination allocated: {null_stats:?}"
+    );
+
+    let mut sink = RingSink::with_capacity(64 * 1024);
+    let cold = disseminate_async_dense_stats_probed(
+        &overlay,
+        &selector,
+        origin,
+        &config,
+        &mut rng(9),
+        &mut scratch,
+        &mut sink,
+    );
+    assert_eq!(
+        baseline, cold,
+        "recording probes must not change the result"
+    );
+    assert!(
+        sink.total_recorded() > 0,
+        "the ring sink must observe events"
+    );
+    let (ring_run, ring_stats) = measure(|| {
+        disseminate_async_dense_stats_probed(
+            &overlay,
+            &selector,
+            origin,
+            &config,
+            &mut rng(9),
+            &mut scratch,
+            &mut sink,
+        )
+    });
+    assert_eq!(baseline, ring_run, "same seed must reproduce the same run");
+    assert!(
+        ring_stats.is_allocation_free(),
+        "warm async ring-sink dissemination allocated: {ring_stats:?}"
     );
 }
 
