@@ -1,26 +1,35 @@
-//! Scale smoke test for the arena-based epoch runtime: grows a large
-//! overlay under the paper's churn model, exports it straight to the dense
-//! dissemination engine and pushes one RingCast message through it.
+//! Scale smoke test for the arena-based epoch runtime: builds a large
+//! overlay, exports it straight to the dense dissemination engine and
+//! pushes one RingCast message through it.
 //!
-//! This is the "millions of users" sanity gate: CI runs it at 100,000 nodes
-//! for 50 churned cycles on every push. Flags: `--nodes`, `--cycles`,
-//! `--churn-rate`, `--seed`, `--fanout`, `--engine dense|btree` (the BTree
-//! runtime is the oracle and is much slower — use small `--nodes` with it),
-//! and `--async`, which additionally pushes one message through the dense
-//! event-driven latency-model engine over the same frozen overlay and gates
-//! on its coverage (the CI job passes it).
+//! This is the "millions of users" sanity gate. CI runs it twice: at
+//! 100,000 nodes grown under the paper's churn model for 50 cycles, and at
+//! 1,000,000 nodes over a synthetic ring + random-links overlay pushing a
+//! message through the event-driven latency engine under an explicit
+//! memory budget. Flags: `--nodes`, `--cycles`, `--churn-rate`, `--seed`,
+//! `--fanout`, `--engine dense|btree` (the BTree runtime is the oracle and
+//! is much slower — use small `--nodes` with it), `--overlay
+//! grown|synthetic` (`synthetic` skips the gossip stack and builds the CSR
+//! directly: a bidirectional ring as d-links plus `--r-degree` random
+//! r-links per node, which is what makes the million-node gate a CI-sized
+//! job), `--async` (additionally pushes one message through the dense
+//! event-driven latency-model engine and gates on its coverage),
+//! `--event-budget` (caps the number of simultaneously queued deliveries —
+//! [`hybridcast_core::sched::SchedConfig::event_budget`]) and
+//! `--mem-budget-mb` (fails the run if the process's peak RSS exceeds the
+//! budget).
 //!
 //! Each gate line also reports the process's peak resident set size
 //! (`VmHWM` from `/proc/self/status`, Linux only) so scale regressions
 //! show up as memory numbers, not just time; the async gate additionally
-//! reports the event-heap high-water mark — the largest in-flight message
-//! backlog of the run, the quantity that bounds the latency engine's
-//! memory at the million-node scale.
+//! reports the calendar queue's high-water mark — the largest in-flight
+//! message backlog of the run, the quantity that bounds the latency
+//! engine's memory at the million-node scale — and its overflow-tier peak.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use hybridcast_bench::{Args, EngineKind};
@@ -28,8 +37,10 @@ use hybridcast_core::async_engine::{disseminate_async_dense, AsyncConfig, DenseA
 use hybridcast_core::engine::{disseminate_dense, DenseScratch};
 use hybridcast_core::overlay::{DenseOverlay, Overlay};
 use hybridcast_core::protocols::DenseSelector;
+use hybridcast_core::sched::SchedConfig;
+use hybridcast_graph::{cast, NodeId};
 use hybridcast_sim::churn::{ChurnConfig, ChurnDriver};
-use hybridcast_sim::{DenseSimNetwork, Network, SimConfig};
+use hybridcast_sim::{DenseSimNetwork, FlatLinks, Network, SimConfig};
 
 fn main() -> ExitCode {
     match run() {
@@ -41,6 +52,47 @@ fn main() -> ExitCode {
     }
 }
 
+/// Builds a RingCast-ready overlay directly in CSR form: a bidirectional
+/// ring as d-links plus `r_degree` uniform random r-links per node.
+///
+/// Growing a million-node overlay through the full gossip stack takes far
+/// longer than a CI job; the synthetic path skips the membership layer
+/// while exercising the exact same dissemination engines over the same
+/// topology class the membership layer converges to.
+fn synthetic_overlay(nodes: usize, r_degree: usize, seed: u64) -> DenseOverlay {
+    let n = nodes as u64;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5E7);
+    let ids: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let mut r_offsets = Vec::with_capacity(nodes + 1);
+    let mut r_targets = Vec::with_capacity(nodes * r_degree);
+    let mut d_offsets = Vec::with_capacity(nodes + 1);
+    let mut d_targets = Vec::with_capacity(nodes * 2);
+    r_offsets.push(0u32);
+    d_offsets.push(0u32);
+    for i in 0..n {
+        let prev = if i == 0 { n - 1 } else { i - 1 };
+        let next = if i + 1 == n { 0 } else { i + 1 };
+        d_targets.push(NodeId::new(prev));
+        d_targets.push(NodeId::new(next));
+        d_offsets.push(cast::to_u32(d_targets.len()));
+        for _ in 0..r_degree {
+            let mut target = rng.gen_range(0..n);
+            while target == i {
+                target = rng.gen_range(0..n);
+            }
+            r_targets.push(NodeId::new(target));
+        }
+        r_offsets.push(cast::to_u32(r_targets.len()));
+    }
+    DenseOverlay::from_flat_links(&FlatLinks {
+        ids,
+        r_offsets,
+        r_targets,
+        d_offsets,
+        d_targets,
+    })
+}
+
 fn run() -> Result<(), String> {
     let args = Args::from_env()?;
     let nodes: usize = args.get_or("nodes", 100_000)?;
@@ -49,12 +101,15 @@ fn run() -> Result<(), String> {
     let seed: u64 = args.get_or("seed", 1)?;
     let fanout: usize = args.get_or("fanout", 3)?;
     let engine: EngineKind = args.get_or("engine", EngineKind::Dense)?;
+    let overlay: String = args.get_or("overlay", String::from("grown"))?;
+    let r_degree: usize = args.get_or("r-degree", 8)?;
+    let event_budget: usize = args.get_or("event-budget", 0)?;
+    let mem_budget_mb: u64 = args.get_or("mem-budget-mb", 0)?;
 
-    let config = SimConfig {
-        nodes,
-        ..SimConfig::default()
-    };
-    eprintln!("# scale_smoke: {nodes} nodes, {cycles} cycles, churn {churn_rate}, engine {engine}");
+    eprintln!(
+        "# scale_smoke: {nodes} nodes, {cycles} cycles, churn {churn_rate}, engine {engine}, \
+         overlay {overlay}"
+    );
 
     enum Runtime {
         Dense(Box<DenseSimNetwork>),
@@ -62,27 +117,48 @@ fn run() -> Result<(), String> {
     }
 
     let start = Instant::now();
-    let mut network = match engine {
-        EngineKind::Dense => Runtime::Dense(Box::new(DenseSimNetwork::new(config, seed))),
-        EngineKind::Btree => Runtime::Btree(Box::new(Network::new(config, seed))),
-    };
-    let boot = start.elapsed();
+    let (dense, churned, boot, gossip, export) = match overlay.as_str() {
+        "synthetic" => {
+            if nodes < 3 {
+                return Err("--overlay synthetic needs at least 3 nodes for a ring".into());
+            }
+            let dense = synthetic_overlay(nodes, r_degree, seed);
+            (dense, 0u64, start.elapsed(), Duration::ZERO, Duration::ZERO)
+        }
+        "grown" => {
+            let config = SimConfig {
+                nodes,
+                ..SimConfig::default()
+            };
+            let mut network = match engine {
+                EngineKind::Dense => Runtime::Dense(Box::new(DenseSimNetwork::new(config, seed))),
+                EngineKind::Btree => Runtime::Btree(Box::new(Network::new(config, seed))),
+            };
+            let boot = start.elapsed();
 
-    let gossip_start = Instant::now();
-    let mut driver = ChurnDriver::new(ChurnConfig { rate: churn_rate });
-    match &mut network {
-        Runtime::Dense(net) => driver.run_cycles(net.as_mut(), cycles),
-        Runtime::Btree(net) => driver.run_cycles(net.as_mut(), cycles),
-    }
-    let gossip = gossip_start.elapsed();
+            let gossip_start = Instant::now();
+            let mut driver = ChurnDriver::new(ChurnConfig { rate: churn_rate });
+            match &mut network {
+                Runtime::Dense(net) => driver.run_cycles(net.as_mut(), cycles),
+                Runtime::Btree(net) => driver.run_cycles(net.as_mut(), cycles),
+            }
+            let gossip = gossip_start.elapsed();
 
-    let export_start = Instant::now();
-    let dense = match &network {
-        // Zero-round-trip export: arena -> CSR, no id-keyed snapshot.
-        Runtime::Dense(net) => DenseOverlay::from_dense_sim(net),
-        Runtime::Btree(net) => DenseOverlay::from_snapshot(&net.overlay_snapshot()),
+            let export_start = Instant::now();
+            let dense = match &network {
+                // Zero-round-trip export: arena -> CSR, no id-keyed snapshot.
+                Runtime::Dense(net) => DenseOverlay::from_dense_sim(net),
+                Runtime::Btree(net) => DenseOverlay::from_snapshot(&net.overlay_snapshot()),
+            };
+            let export = export_start.elapsed();
+            (dense, driver.removed(), boot, gossip, export)
+        }
+        other => {
+            return Err(format!(
+                "unknown --overlay '{other}', expected grown or synthetic"
+            ));
+        }
     };
-    let export = export_start.elapsed();
 
     if dense.live_len() != nodes {
         return Err(format!(
@@ -120,7 +196,7 @@ fn run() -> Result<(), String> {
          dissemination={:.3}s hops={} messages={} peak_rss={}",
         nodes,
         cycles,
-        driver.removed(),
+        churned,
         boot.as_secs_f64(),
         gossip.as_secs_f64(),
         gossip.as_secs_f64() * 1000.0 / cycles.max(1) as f64,
@@ -134,13 +210,17 @@ fn run() -> Result<(), String> {
     if args.flag("async") {
         // The latency-model gate: the same overlay must also carry an
         // event-driven dissemination (timestamped deliveries through the
-        // pre-sized event heap) at this scale.
+        // calendar event queue) at this scale.
         let config = AsyncConfig {
             gossip_period: 10.0,
             forwarding_delay: 1.0,
             jitter: 0.1,
             run_membership_gossip: false,
             max_time: 1_000_000.0,
+            sched: SchedConfig {
+                event_budget,
+                ..SchedConfig::default()
+            },
             ..AsyncConfig::default()
         };
         let async_start = Instant::now();
@@ -162,18 +242,44 @@ fn run() -> Result<(), String> {
             ));
         }
         println!(
-            "async: dissemination={:.3}s reached={}/{} messages={} completion_time={} \
-             event_heap_high_water={} peak_rss={}",
+            "async: dissemination={:.3}s reached={}/{} messages={} truncated_sends={} \
+             completion_time={} event_queue_high_water={} overflow_high_water={} \
+             queue_resident={:.1}MB peak_rss={}",
             async_time.as_secs_f64(),
             async_report.reached,
             async_report.population,
             async_report.total_messages(),
+            async_report.truncated_sends,
             async_report
                 .completion_time
                 .map(|t| format!("{t:.1}"))
                 .unwrap_or_else(|| "-".to_owned()),
-            async_scratch.event_heap_high_water(),
+            async_scratch.event_queue_high_water(),
+            async_scratch.overflow_high_water(),
+            async_scratch.event_resident_bytes() as f64 / (1024.0 * 1024.0),
             render_rss(),
+        );
+        if event_budget != 0 && async_scratch.event_queue_high_water() > event_budget {
+            return Err(format!(
+                "event queue grew to {} past the --event-budget of {event_budget}",
+                async_scratch.event_queue_high_water()
+            ));
+        }
+    }
+
+    if mem_budget_mb != 0 {
+        let peak_kb = hybridcast_obs::mem::peak_rss_kb().ok_or_else(|| {
+            String::from("peak-RSS accounting unavailable, cannot enforce --mem-budget-mb")
+        })?;
+        if peak_kb > mem_budget_mb * 1024 {
+            return Err(format!(
+                "peak RSS {:.1}MB exceeds the configured {mem_budget_mb}MB budget",
+                peak_kb as f64 / 1024.0
+            ));
+        }
+        println!(
+            "mem_budget: peak_rss={:.1}MB <= budget={mem_budget_mb}MB",
+            peak_kb as f64 / 1024.0
         );
     }
     Ok(())

@@ -24,8 +24,9 @@
 //!   **oracle** the dense engine is differentially tested against.
 //! * [`disseminate_async_dense`] — the allocation-free rewrite over a CSR
 //!   [`DenseOverlay`] and a reusable [`DenseAsyncScratch`]: bitset notified
-//!   set, flat `f64` notification-time array, pre-sized binary event heap,
-//!   flat per-hop counters. Bit-identical [`AsyncReport`]s to
+//!   set, flat `f64` notification-time array, retained calendar event queue
+//!   ([`crate::sched`]), flat per-hop counters. Bit-identical
+//!   [`AsyncReport`]s to
 //!   [`disseminate_async_frozen`] for the same overlay, selector and seed,
 //!   at a fraction of the cost — this is what makes the latency ablation
 //!   runnable at 100k+ nodes.
@@ -52,8 +53,7 @@
 //! pair stays bit-identical under every model; both contracts are pinned by
 //! the differential property tests.
 
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -67,6 +67,7 @@ use hybridcast_sim::Network;
 use crate::netmodel::{jittered, partition_recovery, NetModel};
 use crate::overlay::{DenseBits, DenseOverlay, Overlay, NO_NODE};
 use crate::protocols::{DenseSelector, GossipTargetSelector};
+use crate::sched::{CalendarQueue, SchedConfig, Scheduled};
 
 /// Configuration of an event-driven dissemination run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -89,6 +90,17 @@ pub struct AsyncConfig {
     /// process and scripted partitions. The default model reproduces the
     /// pre-model engines bit for bit.
     pub net: NetModel,
+    /// Calendar event-queue geometry and memory budget
+    /// ([`crate::sched::SchedConfig`]). The geometry (bucket width, bucket
+    /// count) is a pure performance knob — pop order, and therefore every
+    /// report bit, is identical for any valid geometry. The event budget
+    /// caps how many deliveries may be queued at once: a forward that
+    /// survives the network model but finds the queue full is *not*
+    /// scheduled, counts in [`AsyncReport::truncated_sends`], and flags the
+    /// run [`AsyncReport::truncated`] — identically in all three engines.
+    /// The default (unbounded) reproduces the pre-budget engines bit for
+    /// bit.
+    pub sched: SchedConfig,
 }
 
 impl Default for AsyncConfig {
@@ -100,6 +112,7 @@ impl Default for AsyncConfig {
             run_membership_gossip: true,
             max_time: 10_000.0,
             net: NetModel::default(),
+            sched: SchedConfig::default(),
         }
     }
 }
@@ -111,8 +124,10 @@ impl AsyncConfig {
     ///
     /// Returns an error if any duration is non-positive (except the
     /// forwarding delay, which may be zero), the jitter is not in
-    /// `[0, 1)`, or the network model is malformed (negative loss rates,
-    /// out-of-range burst parameters, non-positive partition durations).
+    /// `[0, 1)`, the scheduler geometry is malformed (negative or
+    /// non-finite bucket width, zero buckets), or the network model is
+    /// malformed (negative loss rates, out-of-range burst parameters,
+    /// non-positive partition durations).
     pub fn validate(&self) -> Result<(), String> {
         if self.gossip_period <= 0.0 {
             return Err("gossip period must be positive".into());
@@ -126,7 +141,16 @@ impl AsyncConfig {
         if self.max_time <= 0.0 {
             return Err("max time must be positive".into());
         }
+        self.sched.validate()?;
         self.net.validate()
+    }
+
+    /// The calendar bucket width this configuration resolves to:
+    /// [`SchedConfig::resolved_width`] over the mean forwarding delay,
+    /// falling back to the gossip period for zero-delay runs.
+    fn bucket_width(&self) -> f64 {
+        self.sched
+            .resolved_width(self.forwarding_delay, self.gossip_period)
     }
 }
 
@@ -166,9 +190,20 @@ pub struct AsyncReport {
     /// the re-convergence time — or `None` if no node was notified at or
     /// after the heal.
     pub partition_recovery: Vec<Option<f64>>,
-    /// `true` if the event queue was cut off by [`AsyncConfig::max_time`]
-    /// with dissemination deliveries still pending — the report then
-    /// understates what an unbounded run would have achieved.
+    /// Forwards that survived the network model but were *not* scheduled
+    /// because the event queue was at its configured budget
+    /// ([`crate::sched::SchedConfig::event_budget`]). Budget-truncated
+    /// sends still count in [`AsyncReport::messages_sent`] and the per-hop
+    /// totals, but never in [`AsyncReport::dropped_loss`] /
+    /// [`AsyncReport::dropped_partition`]: the network delivered its
+    /// verdict, the *simulator* declined the memory. Always zero under the
+    /// default (unbounded) budget.
+    pub truncated_sends: usize,
+    /// `true` if the run understates what an unbounded run would have
+    /// achieved: the event queue was cut off by [`AsyncConfig::max_time`]
+    /// with dissemination deliveries still pending, and/or the event
+    /// budget refused at least one scheduling
+    /// ([`AsyncReport::truncated_sends`]` > 0`).
     pub truncated: bool,
 }
 
@@ -206,32 +241,6 @@ enum Event {
     /// A dissemination message from `from` arrives at `to`; if `to` has not
     /// seen the message yet, `hop` becomes its notification depth.
     Deliver { to: NodeId, from: NodeId, hop: u32 },
-}
-
-#[derive(Debug, Clone, PartialEq)]
-struct TimedEvent {
-    time: f64,
-    seq: u64,
-    event: Event,
-}
-
-impl Eq for TimedEvent {}
-
-impl Ord for TimedEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap, we want the earliest
-        // event first. Ties break on sequence number for determinism.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for TimedEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// A one-node view over the live network state, assembled at delivery time
@@ -338,29 +347,19 @@ pub fn disseminate_async_probed<P: Probe>(
     );
 
     let population = network.len();
-    let mut queue: BinaryHeap<TimedEvent> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |queue: &mut BinaryHeap<TimedEvent>, seq: &mut u64, time: f64, event: Event| {
-        *seq += 1;
-        queue.push(TimedEvent {
-            time,
-            seq: *seq,
-            event,
-        });
-    };
+    let mut queue: CalendarQueue<Event> =
+        CalendarQueue::new(config.bucket_width(), config.sched.num_buckets);
 
     // Desynchronised gossip timers, as in the paper ("nodes have
     // independent, non-synchronized timers").
     if config.run_membership_gossip {
         for node in network.live_ids() {
             let offset = rng.gen::<f64>() * config.gossip_period;
-            push(&mut queue, &mut seq, offset, Event::GossipTick { node });
+            queue.push(offset, Event::GossipTick { node });
         }
     }
     // The origin "receives" the message from itself at time zero.
-    push(
-        &mut queue,
-        &mut seq,
+    queue.push(
         0.0,
         Event::Deliver {
             to: origin,
@@ -384,10 +383,16 @@ pub fn disseminate_async_probed<P: Probe>(
     let mut ge_bad: BTreeMap<NodeId, bool> = BTreeMap::new();
     let mut per_hop_messages = vec![0usize];
     let mut pending_deliveries = 1usize;
+    let mut truncated_sends = 0usize;
     let mut completion_time = None;
     let mut truncated = false;
 
-    while let Some(TimedEvent { time, event, .. }) = queue.pop() {
+    while let Some(Scheduled {
+        time,
+        payload: event,
+        ..
+    }) = queue.pop()
+    {
         if time > config.max_time {
             truncated = pending_deliveries > 0;
             break;
@@ -402,7 +407,7 @@ pub fn disseminate_async_probed<P: Probe>(
                 if network.is_live(node) {
                     network.gossip_once(node);
                     let next = time + jittered(config.gossip_period, rng, config.jitter);
-                    push(&mut queue, &mut seq, next, Event::GossipTick { node });
+                    queue.push(next, Event::GossipTick { node });
                 }
             }
             Event::Deliver { to, from, hop } => {
@@ -475,15 +480,23 @@ pub fn disseminate_async_probed<P: Probe>(
                             continue;
                         }
                     }
+                    if config.sched.budget_exhausted(pending_deliveries) {
+                        // The forward survived the network model, but the
+                        // queue sits at its event budget: refuse the
+                        // scheduling (no delay draw) and account for it.
+                        // `pending_deliveries` equals the queued delivery
+                        // count, so this caps on exactly the boundary the
+                        // frozen and dense engines cap on.
+                        truncated_sends += 1;
+                        continue;
+                    }
                     pending_deliveries += 1;
                     let delay =
                         config
                             .net
                             .delay
                             .sample(config.forwarding_delay, config.jitter, rng);
-                    push(
-                        &mut queue,
-                        &mut seq,
+                    queue.push(
                         time + delay,
                         Event::Deliver {
                             to: target,
@@ -513,7 +526,8 @@ pub fn disseminate_async_probed<P: Probe>(
         dropped_loss,
         dropped_partition,
         partition_recovery,
-        truncated,
+        truncated_sends,
+        truncated: truncated || truncated_sends > 0,
     }
 }
 
@@ -560,19 +574,9 @@ pub fn disseminate_async_frozen_probed<P: Probe>(
     );
 
     let population = overlay.live_count();
-    let mut queue: BinaryHeap<TimedEvent> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |queue: &mut BinaryHeap<TimedEvent>, seq: &mut u64, time: f64, event: Event| {
-        *seq += 1;
-        queue.push(TimedEvent {
-            time,
-            seq: *seq,
-            event,
-        });
-    };
-    push(
-        &mut queue,
-        &mut seq,
+    let mut queue: CalendarQueue<Event> =
+        CalendarQueue::new(config.bucket_width(), config.sched.num_buckets);
+    queue.push(
         0.0,
         Event::Deliver {
             to: origin,
@@ -595,10 +599,16 @@ pub fn disseminate_async_frozen_probed<P: Probe>(
     let mut dropped_partition = 0usize;
     let mut ge_bad: BTreeMap<NodeId, bool> = BTreeMap::new();
     let mut per_hop_messages = vec![0usize];
+    let mut truncated_sends = 0usize;
     let mut completion_time = None;
     let mut truncated = false;
 
-    while let Some(TimedEvent { time, event, .. }) = queue.pop() {
+    while let Some(Scheduled {
+        time,
+        payload: event,
+        ..
+    }) = queue.pop()
+    {
         if time > config.max_time {
             // Every queued event is a pending delivery here.
             truncated = true;
@@ -672,13 +682,17 @@ pub fn disseminate_async_frozen_probed<P: Probe>(
                     continue;
                 }
             }
+            if config.sched.budget_exhausted(queue.len()) {
+                // Every queued event is a pending delivery here, so the
+                // queue length is the quantity the budget caps.
+                truncated_sends += 1;
+                continue;
+            }
             let delay = config
                 .net
                 .delay
                 .sample(config.forwarding_delay, config.jitter, rng);
-            push(
-                &mut queue,
-                &mut seq,
+            queue.push(
                 time + delay,
                 Event::Deliver {
                     to: target,
@@ -706,38 +720,20 @@ pub fn disseminate_async_frozen_probed<P: Probe>(
         dropped_loss,
         dropped_partition,
         partition_recovery,
-        truncated,
+        truncated_sends,
+        truncated: truncated || truncated_sends > 0,
     }
 }
 
-/// A timed delivery in the dense event queue: node identities are dense
-/// `u32` indices, the hop rides along for per-hop accounting.
+/// A delivery in the dense event queue: node identities are dense `u32`
+/// indices, the hop rides along for per-hop accounting. Due time and the
+/// FIFO tie-break sequence live in the queue's [`Scheduled`] wrapper, so
+/// the payload itself carries no ordering.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct DenseEvent {
-    time: f64,
-    seq: u64,
     to: u32,
     from: u32,
     hop: u32,
-}
-
-impl Eq for DenseEvent {}
-
-impl Ord for DenseEvent {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Same reversed (earliest-first) order as the id-keyed engine's
-        // `TimedEvent`: pop by ascending time, ties by ascending sequence.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then(other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for DenseEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// Reusable scratch buffers for [`disseminate_async_dense`].
@@ -745,25 +741,20 @@ impl PartialOrd for DenseEvent {
 /// One complete run over a warm scratch performs no heap allocation in its
 /// event loop: the notified set is a bitset, notification times live in a
 /// flat `f64` array indexed by dense node index, the event queue is a
-/// `BinaryHeap` whose backing storage is retained across runs, and the
-/// per-hop message counters are a flat vector. Create one per worker thread
-/// and pass it to every run.
+/// [`CalendarQueue`] whose bucket ring, current-day heap and overflow tier
+/// are all retained across runs, and the per-hop message counters are a
+/// flat vector. Create one per worker thread and pass it to every run.
 #[derive(Debug, Clone, Default)]
 pub struct DenseAsyncScratch {
     notified: DenseBits,
     notify_time: Vec<f64>,
     per_hop: Vec<usize>,
-    queue: BinaryHeap<DenseEvent>,
+    queue: CalendarQueue<DenseEvent>,
     targets: Vec<u32>,
     pool: Vec<u32>,
     /// Per-sender Gilbert–Elliott chain state (`false` = good), the dense
     /// mirror of the oracle's id-keyed state map.
     ge_bad: Vec<bool>,
-    /// Largest event-queue length observed during the most recent run —
-    /// the in-flight message high-water mark, and (together with the
-    /// retained heap capacity) what `scale_smoke` reports as the event-heap
-    /// footprint of a gate.
-    heap_high_water: usize,
 }
 
 impl DenseAsyncScratch {
@@ -779,24 +770,45 @@ impl DenseAsyncScratch {
     }
 
     /// Peak number of simultaneously queued deliveries during the most
-    /// recent run. The heap's retained capacity never shrinks below this,
-    /// so it bounds the scratch's steady-state event memory.
-    pub fn event_heap_high_water(&self) -> usize {
-        self.heap_high_water
+    /// recent run. The queue's retained capacity never shrinks below this,
+    /// so it bounds the scratch's steady-state event memory — this is the
+    /// high-water mark `scale_smoke` reports, and the quantity
+    /// [`SchedConfig::event_budget`] caps.
+    pub fn event_queue_high_water(&self) -> usize {
+        self.queue.high_water()
     }
 
-    fn reset(&mut self, len: usize) {
+    /// Peak population of the calendar queue's far-future overflow tier
+    /// during the most recent run: how hard the delay distribution's tail
+    /// exercised the spill path. Zero when every drawn delay lands inside
+    /// the bucket window.
+    pub fn overflow_high_water(&self) -> usize {
+        self.queue.overflow_high_water()
+    }
+
+    /// Approximate resident storage of the retained event queue in bytes
+    /// ([`CalendarQueue::resident_bytes`]).
+    pub fn event_resident_bytes(&self) -> usize {
+        self.queue.resident_bytes()
+    }
+
+    /// Bytes one queued event occupies — the unit
+    /// [`SchedConfig::event_budget`] is denominated in.
+    pub const fn event_footprint() -> usize {
+        CalendarQueue::<DenseEvent>::event_footprint()
+    }
+
+    fn reset(&mut self, len: usize, width: f64, num_buckets: usize) {
         self.notified.reset(len);
         self.notify_time.clear();
         self.notify_time.resize(len, f64::NAN);
         self.per_hop.clear();
         self.per_hop.push(0);
-        self.queue.clear();
+        self.queue.reset(width, num_buckets);
         self.targets.clear();
         self.pool.clear();
         self.ge_bad.clear();
         self.ge_bad.resize(len, false);
-        self.heap_high_water = 0;
     }
 }
 
@@ -899,6 +911,7 @@ pub fn disseminate_async_dense_probed<P: Probe>(
         dropped_loss: stats.dropped_loss,
         dropped_partition: stats.dropped_partition,
         partition_recovery,
+        truncated_sends: stats.truncated_sends,
         truncated: stats.truncated,
     }
 }
@@ -928,7 +941,12 @@ pub struct DenseAsyncRunStats {
     pub dropped_partition: usize,
     /// Time the last live node was notified, if the run completed.
     pub completion_time: Option<f64>,
-    /// `true` if the run hit `max_time` with deliveries still queued.
+    /// Forwards refused by the event budget
+    /// ([`SchedConfig::event_budget`]); see
+    /// [`AsyncReport::truncated_sends`].
+    pub truncated_sends: usize,
+    /// `true` if the run hit `max_time` with deliveries still queued,
+    /// and/or the event budget refused at least one scheduling.
     pub truncated: bool,
 }
 
@@ -987,7 +1005,7 @@ pub fn disseminate_async_dense_stats_probed<P: Probe>(
 
     let population = overlay.live_len();
     let len = overlay.len();
-    scratch.reset(len);
+    scratch.reset(len, config.bucket_width(), config.sched.num_buckets);
     let DenseAsyncScratch {
         notified,
         notify_time,
@@ -996,19 +1014,16 @@ pub fn disseminate_async_dense_stats_probed<P: Probe>(
         targets,
         pool,
         ge_bad,
-        heap_high_water,
     } = scratch;
 
-    let mut seq = 0u64;
-    seq += 1;
-    queue.push(DenseEvent {
-        time: 0.0,
-        seq,
-        to: origin_idx,
-        from: NO_NODE,
-        hop: 0,
-    });
-    *heap_high_water = 1;
+    queue.push(
+        0.0,
+        DenseEvent {
+            to: origin_idx,
+            from: NO_NODE,
+            hop: 0,
+        },
+    );
     probe.record(TraceEvent::RunStart {
         origin: origin.as_u64(),
         population: population as u64,
@@ -1021,11 +1036,17 @@ pub fn disseminate_async_dense_stats_probed<P: Probe>(
     let mut messages_to_dead = 0usize;
     let mut dropped_loss = 0usize;
     let mut dropped_partition = 0usize;
+    let mut truncated_sends = 0usize;
     let mut completion_time = None;
     let mut truncated = false;
 
-    while let Some(event) = queue.pop() {
-        if event.time > config.max_time {
+    while let Some(Scheduled {
+        time,
+        payload: event,
+        ..
+    }) = queue.pop()
+    {
+        if time > config.max_time {
             // Every queued event is a pending delivery here.
             truncated = true;
             break;
@@ -1064,10 +1085,10 @@ pub fn disseminate_async_dense_stats_probed<P: Probe>(
             hop: event.hop,
             outcome: DeliveryOutcome::Virgin,
         });
-        notify_time[idx(event.to)] = event.time;
+        notify_time[idx(event.to)] = time;
         reached += 1;
         if reached == population {
-            completion_time = Some(event.time);
+            completion_time = Some(time);
         }
         selector.select_dense(overlay, event.to, event.from, rng, targets, pool);
         let hop_idx = idx(event.hop) + 1;
@@ -1083,11 +1104,10 @@ pub fn disseminate_async_dense_stats_probed<P: Probe>(
                 to: target_id,
                 hop: event.hop + 1,
             });
-            if config.net.blocks(
-                overlay.node_id(event.to),
-                overlay.node_id(target),
-                event.time,
-            ) {
+            if config
+                .net
+                .blocks(overlay.node_id(event.to), overlay.node_id(target), time)
+            {
                 dropped_partition += 1;
                 probe.record(TraceEvent::DroppedPartition {
                     from: node_id,
@@ -1108,21 +1128,25 @@ pub fn disseminate_async_dense_stats_probed<P: Probe>(
                     continue;
                 }
             }
+            if config.sched.budget_exhausted(queue.len()) {
+                // Every queued event is a pending delivery here, so the
+                // queue length is the quantity the budget caps — the same
+                // boundary the oracle engines cap on.
+                truncated_sends += 1;
+                continue;
+            }
             let delay = config
                 .net
                 .delay
                 .sample(config.forwarding_delay, config.jitter, rng);
-            seq += 1;
-            queue.push(DenseEvent {
-                time: event.time + delay,
-                seq,
-                to: target,
-                from: event.to,
-                hop: event.hop + 1,
-            });
-            if queue.len() > *heap_high_water {
-                *heap_high_water = queue.len();
-            }
+            queue.push(
+                time + delay,
+                DenseEvent {
+                    to: target,
+                    from: event.to,
+                    hop: event.hop + 1,
+                },
+            );
         }
     }
 
@@ -1138,7 +1162,8 @@ pub fn disseminate_async_dense_stats_probed<P: Probe>(
         dropped_loss,
         dropped_partition,
         completion_time,
-        truncated,
+        truncated_sends,
+        truncated: truncated || truncated_sends > 0,
     }
 }
 
@@ -1189,6 +1214,24 @@ mod tests {
         .is_err());
         assert!(AsyncConfig {
             max_time: 0.0,
+            ..AsyncConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AsyncConfig {
+            sched: SchedConfig {
+                num_buckets: 0,
+                ..SchedConfig::default()
+            },
+            ..AsyncConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(AsyncConfig {
+            sched: SchedConfig {
+                bucket_width: f64::NAN,
+                ..SchedConfig::default()
+            },
             ..AsyncConfig::default()
         }
         .validate()
@@ -1615,6 +1658,135 @@ mod tests {
         config.net.loss = LossModel::None;
         config.net.partitions = vec![PartitionEvent::bisection(1.0, -1.0, 0)];
         assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn event_budget_caps_scheduling_identically_in_all_three_engines() {
+        let mut network = warmed_network(200, 50);
+        let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let dense = DenseOverlay::from(&overlay);
+        let origin = overlay.live_node_ids()[0];
+        let capped = AsyncConfig {
+            run_membership_gossip: false,
+            sched: SchedConfig {
+                event_budget: 8,
+                ..SchedConfig::default()
+            },
+            ..AsyncConfig::default()
+        };
+
+        let frozen =
+            disseminate_async_frozen(&overlay, &RingCast::new(3), origin, &capped, &mut rng(51));
+        assert!(
+            frozen.truncated_sends > 0,
+            "a budget of 8 must refuse forwards on a 200-node RingCast run"
+        );
+        assert!(frozen.truncated, "budget truncation must flag the run");
+        assert_eq!(frozen.dropped_loss, 0, "the budget is not a loss process");
+        assert_eq!(frozen.dropped_partition, 0);
+        // Every sent message is delivered, dropped, or budget-refused —
+        // never silently lost: with no drops the accounting balances.
+        assert_eq!(
+            frozen.messages_sent - frozen.truncated_sends,
+            frozen.messages_redundant + frozen.messages_to_dead + frozen.reached - 1
+        );
+
+        let mut scratch = DenseAsyncScratch::new();
+        let fast = disseminate_async_dense(
+            &dense,
+            &DenseSelector::ringcast(3),
+            origin,
+            &capped,
+            &mut rng(51),
+            &mut scratch,
+        );
+        assert_eq!(
+            frozen, fast,
+            "budget-capped reports must stay bit-identical"
+        );
+        assert!(
+            scratch.event_queue_high_water() <= 8,
+            "the queue must never grow past the budget, got {}",
+            scratch.event_queue_high_water()
+        );
+
+        let live = disseminate_async(
+            &mut network,
+            &RingCast::new(3),
+            origin,
+            &capped,
+            &mut rng(51),
+        );
+        assert_eq!(
+            frozen, live,
+            "the live engine must cap on the same boundary"
+        );
+    }
+
+    #[test]
+    fn budget_at_the_high_water_mark_schedules_everything() {
+        // The cap refuses a push only when the queue already holds
+        // `event_budget` deliveries, so a budget equal to the uncapped
+        // run's high-water mark changes nothing — and one below it must
+        // refuse at least the push that would have set that mark.
+        let network = warmed_network(150, 52);
+        let overlay = SnapshotOverlay::new(network.overlay_snapshot());
+        let dense = DenseOverlay::from(&overlay);
+        let origin = overlay.live_node_ids()[4];
+        let free = AsyncConfig {
+            run_membership_gossip: false,
+            ..AsyncConfig::default()
+        };
+        let selector = DenseSelector::ringcast(3);
+        let mut scratch = DenseAsyncScratch::new();
+        let uncapped =
+            disseminate_async_dense(&dense, &selector, origin, &free, &mut rng(53), &mut scratch);
+        assert_eq!(uncapped.truncated_sends, 0);
+        assert!(!uncapped.truncated);
+        let high_water = scratch.event_queue_high_water();
+        assert!(high_water > 1, "the run must actually queue events");
+
+        let exact = AsyncConfig {
+            sched: SchedConfig {
+                event_budget: high_water,
+                ..SchedConfig::default()
+            },
+            ..free.clone()
+        };
+        let at_cap = disseminate_async_dense(
+            &dense,
+            &selector,
+            origin,
+            &exact,
+            &mut rng(53),
+            &mut scratch,
+        );
+        assert_eq!(
+            uncapped, at_cap,
+            "a budget at the high-water mark refuses nothing"
+        );
+
+        let below = AsyncConfig {
+            sched: SchedConfig {
+                event_budget: high_water - 1,
+                ..SchedConfig::default()
+            },
+            ..free.clone()
+        };
+        let capped = disseminate_async_dense(
+            &dense,
+            &selector,
+            origin,
+            &below,
+            &mut rng(53),
+            &mut scratch,
+        );
+        assert!(
+            capped.truncated_sends > 0,
+            "one below the high-water mark must refuse at least one forward"
+        );
+        assert!(capped.truncated);
+        assert!(scratch.event_queue_high_water() < high_water);
     }
 
     #[test]

@@ -39,6 +39,12 @@
 //!   [`async_engine::disseminate_async`] (live membership gossip),
 //!   [`async_engine::disseminate_async_frozen`] (frozen oracle) and the
 //!   allocation-free [`async_engine::disseminate_async_dense`].
+//! * [`sched`] — the calendar/ladder event queue behind the async engines:
+//!   `O(1)` near-future bucket insertion, an exact `(time, seq)` pop-order
+//!   contract pinned against a retained-heap oracle, a heap-ordered
+//!   overflow tier for the delay distribution's tail, and an explicit
+//!   event memory budget ([`sched::SchedConfig`]) that lets million-node
+//!   runs gate under a fixed resident-memory ceiling.
 //! * [`netmodel`] — adversarial network models threaded through the async
 //!   and pull engines: heavy-tailed and bimodal delay distributions,
 //!   i.i.d. and Gilbert–Elliott bursty loss, and scripted partition/heal
@@ -91,6 +97,7 @@ pub mod overlay;
 pub mod protocols;
 pub mod pubsub;
 pub mod pull;
+pub mod sched;
 
 pub use async_engine::{
     disseminate_async, disseminate_async_dense, disseminate_async_dense_probed,
@@ -111,3 +118,4 @@ pub use pull::{
     disseminate_push_pull, disseminate_push_pull_dense, disseminate_push_pull_dense_probed,
     disseminate_push_pull_probed, DensePullScratch, PullConfig, PushPullReport,
 };
+pub use sched::{CalendarQueue, HeapQueue, SchedConfig, Scheduled};

@@ -1,0 +1,169 @@
+//! Differential property tests pinning the calendar queue to the retained
+//! `BinaryHeap` oracle it replaced.
+//!
+//! The scheduler's whole contract is pop-order equivalence: for any push
+//! sequence a discrete-event simulation can produce (times never earlier
+//! than the last pop — delays are non-negative), [`CalendarQueue`] must
+//! yield exactly the `(time, seq, payload)` stream [`HeapQueue`] yields.
+//! These tests drive both queues through the same randomized workloads —
+//! arbitrary insert/pop interleavings, equal-timestamp bursts, times on and
+//! one ULP below bucket boundaries, and far-future spills through the
+//! overflow tier — across randomized bucket geometries, and assert the
+//! streams stay identical element for element. The `PROPTEST_CASES=256` CI
+//! job runs them at depth.
+
+use proptest::prelude::*;
+
+use hybridcast_core::sched::{CalendarQueue, HeapQueue, Scheduled};
+
+/// One step of a differential workload: maybe pop, then push a delay of the
+/// given kind scaled by `magnitude`. See [`delay_of`] for the kinds.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    pop: bool,
+    kind: u8,
+    magnitude: u16,
+}
+
+/// The delay a workload step schedules ahead of the current clock. Kinds
+/// cover the heap-vs-calendar edge cases: exact ties, sub-bucket jitter,
+/// times exactly on bucket boundaries, one-ULP-below-boundary times, and
+/// far-future tail delays that overshoot the bucket window.
+fn delay_of(kind: u8, magnitude: u16, width: f64) -> f64 {
+    let m = f64::from(magnitude);
+    match kind {
+        0 => 0.0,
+        1 => m * width / 64.0,
+        2 => m * width,
+        3 => {
+            // One ULP below a bucket boundary: the largest time still
+            // belonging to the earlier day.
+            let boundary = (m + 1.0) * width;
+            f64::from_bits(boundary.to_bits() - 1)
+        }
+        _ => m * width * 200.0,
+    }
+}
+
+/// Runs `ops` through both queues, popping and pushing in lockstep and
+/// asserting every popped `(time, seq, payload)` triple matches; then
+/// drains both queues and asserts the tails match too.
+fn assert_equivalent(width: f64, num_buckets: usize, ops: &[Op]) {
+    let mut calendar: CalendarQueue<u32> = CalendarQueue::new(width, num_buckets);
+    let mut oracle: HeapQueue<u32> = HeapQueue::new();
+    let mut clock = 0.0f64;
+    for (i, op) in ops.iter().enumerate() {
+        if op.pop {
+            match (calendar.pop(), oracle.pop()) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        (a.time, a.seq, a.payload),
+                        (b.time, b.seq, b.payload),
+                        "divergence at op {i}"
+                    );
+                    clock = a.time;
+                }
+                (None, None) => {}
+                other => panic!("one queue emptied before the other at op {i}: {other:?}"),
+            }
+        }
+        let time = clock + delay_of(op.kind, op.magnitude, width);
+        let payload = u32::try_from(i).expect("op count fits u32");
+        calendar.push(time, payload);
+        oracle.push(time, payload);
+        assert_eq!(calendar.len(), oracle.len());
+    }
+    loop {
+        match (calendar.pop(), oracle.pop()) {
+            (Some(a), Some(b)) => {
+                assert_eq!((a.time, a.seq, a.payload), (b.time, b.seq, b.payload));
+            }
+            (None, None) => break,
+            other => panic!("one queue emptied before the other at drain: {other:?}"),
+        }
+    }
+    assert_eq!(calendar.high_water(), oracle.high_water());
+    assert!(calendar.is_empty() && oracle.is_empty());
+}
+
+/// Maps the raw generated triples onto workload steps, reducing the kind
+/// selector into the given set of delay kinds.
+fn ops_from(raw: &[(bool, u8, u16)], kinds: &[u8]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(pop, kind_sel, magnitude)| Op {
+            pop,
+            kind: kinds[usize::from(kind_sel) % kinds.len()],
+            magnitude,
+        })
+        .collect()
+}
+
+proptest! {
+    /// Arbitrary insert/pop interleavings over arbitrary geometries.
+    #[test]
+    fn random_interleavings_match_the_heap_oracle(
+        raw in prop::collection::vec((any::<bool>(), 0u8..255, 0u16..512), 1..250),
+        width_scale in 1u32..2000,
+        num_buckets in 1usize..96,
+    ) {
+        let width = f64::from(width_scale) / 500.0;
+        let ops = ops_from(&raw, &[0, 1, 2, 3, 4]);
+        assert_equivalent(width, num_buckets, &ops);
+    }
+
+    /// Bursts of equal timestamps must pop FIFO (by insertion sequence) in
+    /// both queues — the tie-break contract the engines' determinism rests
+    /// on.
+    #[test]
+    fn equal_timestamp_bursts_match_the_heap_oracle(
+        bursts in prop::collection::vec((0u16..4, 1usize..40), 1..20),
+        num_buckets in 1usize..32,
+    ) {
+        let width = 0.75;
+        let mut ops = Vec::new();
+        for &(offset, burst_len) in &bursts {
+            ops.push(Op { pop: true, kind: 2, magnitude: offset });
+            for _ in 0..burst_len {
+                // Zero delay: lands exactly on the current clock.
+                ops.push(Op { pop: false, kind: 0, magnitude: 0 });
+            }
+        }
+        assert_equivalent(width, num_buckets, &ops);
+    }
+
+    /// Times exactly on and one ULP below bucket boundaries: day
+    /// assignment must never reorder events across the boundary.
+    #[test]
+    fn bucket_boundary_times_match_the_heap_oracle(
+        raw in prop::collection::vec((any::<bool>(), 0u8..255, 0u16..64), 1..200),
+        num_buckets in 1usize..48,
+    ) {
+        let ops = ops_from(&raw, &[2, 3]);
+        assert_equivalent(0.125, num_buckets, &ops);
+    }
+
+    /// Far-future delays overshoot the bucket window and take the overflow
+    /// tier; migration back into the window must preserve the stream.
+    #[test]
+    fn far_future_spills_match_the_heap_oracle(
+        raw in prop::collection::vec((any::<bool>(), 0u8..255, 1u16..256), 1..200),
+        num_buckets in 1usize..16,
+    ) {
+        // Two in-window kinds for every spill kind keeps the workload mixed.
+        let ops = ops_from(&raw, &[1, 1, 4]);
+        assert_equivalent(0.05, num_buckets, &ops);
+    }
+}
+
+#[test]
+fn overflow_tier_is_actually_exercised_by_the_spill_workload() {
+    // Sanity-check the far-future strategy: kind-4 delays with this
+    // geometry must route through the overflow tier, so the proptest above
+    // genuinely covers the spill path.
+    let width = 0.05;
+    let mut queue: CalendarQueue<u32> = CalendarQueue::new(width, 16);
+    queue.push(delay_of(4, 3, width), 0);
+    assert!(queue.overflow_high_water() > 0, "spill path not taken");
+    let Scheduled { payload, .. } = queue.pop().expect("non-empty");
+    assert_eq!(payload, 0);
+}

@@ -38,6 +38,22 @@ pub fn to_u32(i: usize) -> u32 {
     i as u32
 }
 
+/// Narrow a `u64` ordinal (a calendar day or bucket count) to a `usize`
+/// index.
+///
+/// The callers only ever pass values already reduced modulo a collection
+/// length, so the conversion is infallible in practice; debug builds assert
+/// it, release builds compile to a bare cast.
+#[inline(always)]
+#[must_use]
+pub fn idx_u64(i: u64) -> usize {
+    debug_assert!(
+        usize::try_from(i).is_ok(),
+        "ordinal {i} does not fit in a usize index"
+    );
+    i as usize
+}
+
 /// Narrow a `usize` to `u32`, panicking in **every** profile on overflow.
 ///
 /// For population-sized quantities established once per build (arena spawn,

@@ -411,6 +411,136 @@ fn golden_fixture_bimodal_wan_delays() {
     assert!(!report.truncated);
 }
 
+// --- Pre-calendar-queue scheduler fixtures ----------------------------------
+//
+// The three fixtures below were captured on the BinaryHeap event scheduler
+// immediately before it was replaced by the calendar queue (`core::sched`).
+// They pin the scheduler swap's bit-identity contract from the engine side:
+// a default-model run with a heavy tail (the overflow tier), a lossy bursty
+// run, a max_time-truncated run, and a live-membership partition-healing
+// run must all reproduce the heap scheduler's reports bit for bit, for both
+// the BTree oracle and the dense engine.
+
+#[test]
+fn golden_fixture_heavy_tail_delays_with_bursty_loss() {
+    // Log-normal delays (σ = 1.25 ⇒ a tail several bucket-windows long,
+    // exercising the calendar queue's overflow tier) under Gilbert–Elliott
+    // bursty loss. Captured on the heap scheduler.
+    let report = run_adversarial(NetModel {
+        delay: DelayModel::LogNormal {
+            mu: 0.0,
+            sigma: 1.25,
+        },
+        loss: LossModel::GilbertElliott {
+            loss_good: 0.01,
+            loss_bad: 0.4,
+            p_enter_bad: 0.05,
+            p_exit_bad: 0.3,
+        },
+        ..NetModel::default()
+    });
+    assert_eq!(report.reached, 300);
+    assert_eq!(report.messages_sent, 900);
+    assert_eq!(report.messages_redundant, 566);
+    assert_eq!(report.messages_to_dead, 0);
+    assert_eq!(report.dropped_loss, 35);
+    assert_eq!(report.dropped_partition, 0);
+    assert_eq!(
+        report.per_hop_messages,
+        vec![0, 3, 6, 15, 24, 57, 87, 99, 129, 129, 135, 108, 66, 24, 6, 9, 3]
+    );
+    assert_eq!(
+        report.completion_time.map(f64::to_bits),
+        Some(4626014284480981431)
+    );
+    assert_eq!(notification_time_sum_bits(&report), 4653413000455467771);
+    assert_eq!(report.truncated_sends, 0);
+    assert!(!report.truncated);
+}
+
+#[test]
+fn golden_fixture_max_time_truncation_on_the_default_model() {
+    // A max_time cutting the canonical run off mid-flight: the truncation
+    // path through the scheduler (pending events abandoned unpopped) must
+    // also reproduce the heap scheduler bit for bit.
+    let overlay = canonical_overlay();
+    let dense = DenseOverlay::from(&overlay);
+    let origin = overlay.live_node_ids()[0];
+    let config = AsyncConfig {
+        run_membership_gossip: false,
+        max_time: 6.0,
+        ..AsyncConfig::default()
+    };
+    let slow =
+        disseminate_async_frozen(&overlay, &RingCast::new(3), origin, &config, &mut rng(4242));
+    let mut scratch = DenseAsyncScratch::new();
+    let fast = disseminate_async_dense(
+        &dense,
+        &DenseSelector::ringcast(3),
+        origin,
+        &config,
+        &mut rng(4242),
+        &mut scratch,
+    );
+    assert_eq!(slow, fast, "truncated reports must stay bit-identical");
+    assert_eq!(slow.reached, 244);
+    assert_eq!(slow.messages_sent, 732);
+    assert_eq!(slow.messages_redundant, 182);
+    assert_eq!(slow.messages_to_dead, 0);
+    assert_eq!(slow.per_hop_messages, vec![0, 3, 9, 27, 81, 201, 318, 93]);
+    assert_eq!(slow.completion_time, None);
+    assert_eq!(notification_time_sum_bits(&slow), 4652544851397353580);
+    assert!(slow.truncated, "max_time = 6 must cut the run short");
+    assert_eq!(
+        slow.truncated_sends, 0,
+        "time truncation is not budget truncation"
+    );
+}
+
+#[test]
+fn golden_fixture_live_membership_partition_healing() {
+    // The live engine (membership gossip running, its ticks interleaved
+    // with deliveries in the same queue) through a healing bisection.
+    // Captured on the heap scheduler.
+    let mut network = canonical_network();
+    let origin = SnapshotOverlay::new(network.overlay_snapshot()).live_node_ids()[0];
+    let config = AsyncConfig {
+        net: NetModel {
+            partitions: vec![PartitionEvent::bisection(2.0, 4.0, 0xA5A5)],
+            ..NetModel::default()
+        },
+        ..AsyncConfig::default()
+    };
+    let live = disseminate_async(
+        &mut network,
+        &RingCast::new(3),
+        origin,
+        &config,
+        &mut rng(4242),
+    );
+    assert_eq!(live.reached, 297);
+    assert_eq!(live.messages_sent, 891);
+    assert_eq!(live.messages_redundant, 422);
+    assert_eq!(live.messages_to_dead, 0);
+    assert_eq!(live.dropped_loss, 0);
+    assert_eq!(live.dropped_partition, 173);
+    assert_eq!(
+        live.per_hop_messages,
+        vec![0, 3, 9, 27, 75, 93, 120, 111, 129, 144, 105, 39, 21, 12, 3]
+    );
+    assert_eq!(live.completion_time, None);
+    assert_eq!(notification_time_sum_bits(&live), 4656090588082488697);
+    assert_eq!(
+        live.partition_recovery
+            .iter()
+            .map(|r| r.map(f64::to_bits))
+            .collect::<Vec<_>>(),
+        vec![Some(4619156254238873558)]
+    );
+    assert_eq!(live.truncated_sends, 0);
+    assert!(!live.truncated);
+}
+
 #[test]
 fn golden_fixture_mid_run_bisection_that_heals() {
     let report = run_adversarial(NetModel {

@@ -27,6 +27,7 @@ use hybridcast::core::netmodel::{DelayModel, LossModel, NetModel};
 use hybridcast::core::overlay::DenseOverlay;
 use hybridcast::core::protocols::DenseSelector;
 use hybridcast::core::pull::{disseminate_push_pull_dense_stats, DensePullScratch, PullConfig};
+use hybridcast::core::sched::SchedConfig;
 use hybridcast::graph::NodeId;
 use hybridcast::obs::{NullProbe, RingSink};
 use hybridcast::sim::{DenseSimNetwork, SimConfig};
@@ -270,9 +271,69 @@ fn warm_async_dissemination_is_allocation_free() {
     });
 
     assert_eq!(cold, warm, "same seed must reproduce the same run");
+    // The log-normal tail overshoots the calendar window (4x the
+    // forwarding delay under the auto geometry), so this warm run must
+    // have routed events through the overflow tier without allocating —
+    // the spill path is part of the zero-alloc contract, not an escape
+    // hatch from it.
+    assert!(
+        scratch.overflow_high_water() > 0,
+        "the heavy-tail workload must exercise the overflow tier"
+    );
     assert!(
         stats.is_allocation_free(),
         "warm async dissemination allocated: {stats:?}"
+    );
+}
+
+#[test]
+fn warm_budget_capped_async_dissemination_is_allocation_free() {
+    // The event-budget refusal path (`truncated_sends`) runs in the same
+    // hot loop as scheduling; a budget small enough to actually refuse
+    // sends must not change the allocation story.
+    let (overlay, origin) = warmed_overlay(2);
+    let selector = DenseSelector::ringcast(3);
+    let config = AsyncConfig {
+        run_membership_gossip: false,
+        sched: SchedConfig {
+            event_budget: 16,
+            ..SchedConfig::default()
+        },
+        ..AsyncConfig::default()
+    };
+    let mut scratch = DenseAsyncScratch::new();
+
+    let cold = disseminate_async_dense_stats(
+        &overlay,
+        &selector,
+        origin,
+        &config,
+        &mut rng(9),
+        &mut scratch,
+    );
+    assert!(
+        cold.truncated_sends > 0,
+        "the budget must actually refuse sends for this test to mean anything"
+    );
+    let (warm, stats) = measure(|| {
+        disseminate_async_dense_stats(
+            &overlay,
+            &selector,
+            origin,
+            &config,
+            &mut rng(9),
+            &mut scratch,
+        )
+    });
+
+    assert_eq!(cold, warm, "same seed must reproduce the same run");
+    assert!(
+        scratch.event_queue_high_water() <= 16,
+        "the budget must bound the queue high-water mark"
+    );
+    assert!(
+        stats.is_allocation_free(),
+        "warm budget-capped async dissemination allocated: {stats:?}"
     );
 }
 
