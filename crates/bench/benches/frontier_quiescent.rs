@@ -1,0 +1,128 @@
+//! Criterion benchmark of the sparse-frontier epoch kernel in its target
+//! regime: a quiescent network where only a small fraction of nodes have a
+//! gossip timer due in any given cycle.
+//!
+//! Three arms over the same population (default 10,000 nodes; set
+//! `HYBRIDCAST_BENCH_NODES` to override):
+//!
+//! * `per_node_frontier` — the per-node runtime at gossip period 100, so
+//!   ~1% of nodes are active per cycle and the frontier steps only those.
+//! * `per_node_full_sweep` — the same runtime with the frontier disabled:
+//!   every cycle scans all slots to find the due ~1%. Isolates the
+//!   frontier's win from the per-node stream kernel itself.
+//! * `shared_full_cycle` — the shared-stream runtime, where every node
+//!   gossips every cycle (the only cadence it supports). This is the
+//!   baseline the tentpole speedup claim is measured against.
+//!
+//! Before timing, the harness self-checks that the frontier and full-sweep
+//! twins produce bit-identical overlays over several cycles — a disagreement
+//! panics rather than benchmarking a broken kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hybridcast_sim::{DenseSimNetwork, SimConfig};
+
+/// Gossip period of the quiescent arms: ~1% of nodes due per cycle.
+const PERIOD: u64 = 100;
+
+fn bench_nodes() -> usize {
+    std::env::var("HYBRIDCAST_BENCH_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+fn config(nodes: usize) -> SimConfig {
+    SimConfig {
+        nodes,
+        ..SimConfig::default()
+    }
+}
+
+/// A per-node network warmed long enough for every node to have shuffled a
+/// few times at the quiescent cadence.
+fn warmed_per_node(nodes: usize) -> DenseSimNetwork {
+    let mut network = DenseSimNetwork::new_per_node(config(nodes), 7, PERIOD, 1);
+    network.run_cycles(3 * PERIOD as usize);
+    network
+}
+
+fn warmed_shared(nodes: usize) -> DenseSimNetwork {
+    let mut network = DenseSimNetwork::new(config(nodes), 7);
+    network.run_cycles(30);
+    network
+}
+
+/// Panics unless the frontier and the full-sweep slot scan agree on the
+/// overlay after several cycles from the same warmed state.
+fn self_check(warmed: &DenseSimNetwork) {
+    let mut frontier = warmed.clone();
+    let mut sweep = warmed.clone();
+    sweep.set_frontier_full_sweep(true);
+    for cycle in 0..5 {
+        frontier.run_cycles(1);
+        sweep.run_cycles(1);
+        assert_eq!(
+            frontier.last_frontier_len(),
+            sweep.last_frontier_len(),
+            "frontier/full-sweep disagreed on the active set at check cycle {cycle}"
+        );
+    }
+    assert_eq!(
+        frontier.overlay_snapshot(),
+        sweep.overlay_snapshot(),
+        "frontier/full-sweep overlays diverged during the self-check"
+    );
+}
+
+fn bench_quiescent_cycle(c: &mut Criterion) {
+    let nodes = bench_nodes();
+    let mut group = c.benchmark_group("frontier/quiescent_cycle");
+
+    let per_node = warmed_per_node(nodes);
+    self_check(&per_node);
+
+    group.bench_with_input(
+        BenchmarkId::new("per_node_frontier", nodes),
+        &nodes,
+        |b, _| {
+            b.iter_batched(
+                || per_node.clone(),
+                |mut net| net.run_cycles(1),
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
+
+    let mut full_sweep = per_node.clone();
+    full_sweep.set_frontier_full_sweep(true);
+    group.bench_with_input(
+        BenchmarkId::new("per_node_full_sweep", nodes),
+        &nodes,
+        |b, _| {
+            b.iter_batched(
+                || full_sweep.clone(),
+                |mut net| net.run_cycles(1),
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
+
+    let shared = warmed_shared(nodes);
+    group.bench_with_input(
+        BenchmarkId::new("shared_full_cycle", nodes),
+        &nodes,
+        |b, _| {
+            b.iter_batched(
+                || shared.clone(),
+                |mut net| net.run_cycles(1),
+                criterion::BatchSize::LargeInput,
+            )
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_quiescent_cycle);
+criterion_main!(benches);

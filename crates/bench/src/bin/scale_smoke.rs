@@ -12,7 +12,16 @@
 //! grown|synthetic` (`synthetic` skips the gossip stack and builds the CSR
 //! directly: a bidirectional ring as d-links plus `--r-degree` random
 //! r-links per node, which is what makes the million-node gate a CI-sized
-//! job), `--async` (additionally pushes one message through the dense
+//! job), `--rng shared|per-node` (RNG discipline of the grown membership
+//! phase — `per-node` selects the counter-based per-node stream kernel
+//! with its sparse frontier, dense engine only), `--threads` (worker
+//! threads for the per-node kernel's intra-cycle fan-out, 0 = auto),
+//! `--gossip-period` (per-node mode only: each node gossips every N
+//! cycles on a seeded stagger, so only ~1/N of the population steps per
+//! cycle — the quiescent-network regime the sparse frontier exists for),
+//! `--check-thread-invariance` (regrows the per-node overlay at
+//! `--threads 1` and fails unless the exported link arrays are
+//! bit-identical), `--async` (additionally pushes one message through the dense
 //! event-driven latency-model engine and gates on its coverage),
 //! `--event-budget` (caps the number of simultaneously queued deliveries —
 //! [`hybridcast_core::sched::SchedConfig::event_budget`]) and
@@ -40,7 +49,7 @@ use hybridcast_core::protocols::DenseSelector;
 use hybridcast_core::sched::SchedConfig;
 use hybridcast_graph::{cast, NodeId};
 use hybridcast_sim::churn::{ChurnConfig, ChurnDriver};
-use hybridcast_sim::{DenseSimNetwork, FlatLinks, Network, SimConfig};
+use hybridcast_sim::{DenseSimNetwork, FlatLinks, Network, RngMode, SimConfig};
 
 fn main() -> ExitCode {
     match run() {
@@ -105,10 +114,34 @@ fn run() -> Result<(), String> {
     let r_degree: usize = args.get_or("r-degree", 8)?;
     let event_budget: usize = args.get_or("event-budget", 0)?;
     let mem_budget_mb: u64 = args.get_or("mem-budget-mb", 0)?;
+    let rng_mode: RngMode = args.get_or("rng", RngMode::Shared)?;
+    let threads: usize = args.get_or("threads", 0)?;
+    let gossip_period: u64 = args.get_or("gossip-period", 1)?;
+    let check_thread_invariance = args.flag("check-thread-invariance");
+
+    if rng_mode == RngMode::PerNode && engine == EngineKind::Btree {
+        return Err(String::from(
+            "--rng per-node requires --engine dense (the BTree oracle is shared-stream only)",
+        ));
+    }
+    if gossip_period == 0 {
+        return Err(String::from("--gossip-period must be at least 1"));
+    }
+    if check_thread_invariance && rng_mode != RngMode::PerNode {
+        return Err(String::from(
+            "--check-thread-invariance only applies to --rng per-node (the shared stream is \
+             single-threaded by construction)",
+        ));
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
 
     eprintln!(
         "# scale_smoke: {nodes} nodes, {cycles} cycles, churn {churn_rate}, engine {engine}, \
-         overlay {overlay}"
+         overlay {overlay}, rng {rng_mode}"
     );
 
     enum Runtime {
@@ -130,9 +163,14 @@ fn run() -> Result<(), String> {
                 nodes,
                 ..SimConfig::default()
             };
-            let mut network = match engine {
-                EngineKind::Dense => Runtime::Dense(Box::new(DenseSimNetwork::new(config, seed))),
-                EngineKind::Btree => Runtime::Btree(Box::new(Network::new(config, seed))),
+            let mut network = match (engine, rng_mode) {
+                (EngineKind::Dense, RngMode::Shared) => {
+                    Runtime::Dense(Box::new(DenseSimNetwork::new(config, seed)))
+                }
+                (EngineKind::Dense, RngMode::PerNode) => Runtime::Dense(Box::new(
+                    DenseSimNetwork::new_per_node(config, seed, gossip_period, threads),
+                )),
+                (EngineKind::Btree, _) => Runtime::Btree(Box::new(Network::new(config, seed))),
             };
             let boot = start.elapsed();
 
@@ -151,6 +189,22 @@ fn run() -> Result<(), String> {
                 Runtime::Btree(net) => DenseOverlay::from_snapshot(&net.overlay_snapshot()),
             };
             let export = export_start.elapsed();
+
+            if check_thread_invariance {
+                let flat = match &network {
+                    Runtime::Dense(net) => net.flat_links(),
+                    Runtime::Btree(_) => unreachable!("per-node mode is dense-only"),
+                };
+                check_invariance(
+                    &flat,
+                    threads,
+                    nodes,
+                    seed,
+                    gossip_period,
+                    churn_rate,
+                    cycles,
+                )?;
+            }
             (dense, driver.removed(), boot, gossip, export)
         }
         other => {
@@ -282,6 +336,41 @@ fn run() -> Result<(), String> {
             peak_kb as f64 / 1024.0
         );
     }
+    Ok(())
+}
+
+/// Regrows the per-node overlay from scratch at `--threads 1` and fails
+/// unless the exported flat link arrays are bit-identical to the original
+/// run's: the per-node kernel's thread-invariance contract, checked at
+/// gate scale rather than test scale.
+fn check_invariance(
+    reference: &FlatLinks,
+    threads: usize,
+    nodes: usize,
+    seed: u64,
+    gossip_period: u64,
+    churn_rate: f64,
+    cycles: usize,
+) -> Result<(), String> {
+    let regrow_start = Instant::now();
+    let config = SimConfig {
+        nodes,
+        ..SimConfig::default()
+    };
+    let mut single = DenseSimNetwork::new_per_node(config, seed, gossip_period, 1);
+    let mut driver = ChurnDriver::new(ChurnConfig { rate: churn_rate });
+    driver.run_cycles(&mut single, cycles);
+    if single.flat_links() != *reference {
+        return Err(format!(
+            "per-node overlay diverged between --threads {threads} and --threads 1: the \
+             exported link arrays differ"
+        ));
+    }
+    println!(
+        "thread_invariance: threads={threads} vs 1 identical ({} live nodes, regrow={:.2}s)",
+        reference.ids.len(),
+        regrow_start.elapsed().as_secs_f64(),
+    );
     Ok(())
 }
 

@@ -1195,6 +1195,7 @@ mod tests {
             churn_max_cycles: 500,
             engine: EngineKind::Dense,
             threads: 2,
+            rng: hybridcast_sim::RngMode::Shared,
             quiet: true,
         }
     }

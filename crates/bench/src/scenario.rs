@@ -11,7 +11,9 @@ use hybridcast_core::overlay::{DenseOverlay, SnapshotOverlay};
 use hybridcast_obs::{Heartbeat, Probe, StageProfiler};
 use hybridcast_sim::churn::{ChurnConfig, ChurnDriver};
 use hybridcast_sim::failure::kill_fraction_in_snapshot;
-use hybridcast_sim::{DenseSimNetwork, GossipRuntime, Network, OverlaySnapshot, SimConfig};
+use hybridcast_sim::{
+    DenseSimNetwork, GossipRuntime, Network, OverlaySnapshot, RngMode, SimConfig,
+};
 
 use crate::cli::Args;
 
@@ -76,10 +78,17 @@ pub struct ExperimentParams {
     pub churn_max_cycles: usize,
     /// Which dissemination engine to run (`--engine dense|btree`).
     pub engine: EngineKind,
-    /// Worker threads for the dense engine's seeded runs; 0 means "use the
-    /// machine's available parallelism". Results are identical for every
-    /// value (`--threads`).
+    /// Worker threads for the dense engine's seeded runs — and, in
+    /// `--rng per-node` mode, for the membership simulation's intra-cycle
+    /// fan-out; 0 means "use the machine's available parallelism". Results
+    /// are identical for every value (`--threads`).
     pub threads: usize,
+    /// RNG discipline of the membership phase (`--rng shared|per-node`).
+    /// `shared` (the default) steps one shared stream in stepping order and
+    /// is bit-identical to the BTree oracle; `per-node` derives one
+    /// counter-based stream per node and cycle, which unlocks the sparse
+    /// frontier and intra-cycle threading. Dense engine only.
+    pub rng: RngMode,
     /// Silence the progress heartbeat on stderr (`--quiet`). Progress is
     /// still counted in the metrics registry either way; the flag only
     /// controls the printing, never the computation.
@@ -100,6 +109,7 @@ impl ExperimentParams {
             churn_max_cycles: 20_000,
             engine: EngineKind::Dense,
             threads: 0,
+            rng: RngMode::Shared,
             quiet: false,
         }
     }
@@ -117,6 +127,7 @@ impl ExperimentParams {
             churn_max_cycles: 3_000,
             engine: EngineKind::Dense,
             threads: 0,
+            rng: RngMode::Shared,
             quiet: false,
         }
     }
@@ -124,19 +135,22 @@ impl ExperimentParams {
     /// Builds parameters from command-line arguments: `--paper` selects the
     /// full scale, and `--nodes`, `--runs`, `--warmup`, `--fanouts`,
     /// `--seed`, `--churn-rate`, `--churn-max-cycles`, `--engine`,
-    /// `--threads` override individual fields; `--quiet` silences the
-    /// progress heartbeat.
+    /// `--threads`, `--rng` override individual fields; `--quiet` silences
+    /// the progress heartbeat.
     ///
     /// # Errors
     ///
-    /// Returns an error if any override fails to parse.
+    /// Returns an error if any override fails to parse, or if
+    /// `--rng per-node` is combined with `--engine btree` (the per-node
+    /// stream kernel lives in the arena runtime only; the BTree oracle is
+    /// shared-stream by definition).
     pub fn from_args(args: &Args) -> Result<Self, String> {
         let base = if args.flag("paper") {
             Self::paper()
         } else {
             Self::quick()
         };
-        Ok(ExperimentParams {
+        let params = ExperimentParams {
             nodes: args.get_or("nodes", base.nodes)?,
             runs: args.get_or("runs", base.runs)?,
             warmup_cycles: args.get_or("warmup", base.warmup_cycles)?,
@@ -146,8 +160,15 @@ impl ExperimentParams {
             churn_max_cycles: args.get_or("churn-max-cycles", base.churn_max_cycles)?,
             engine: args.get_or("engine", base.engine)?,
             threads: args.get_or("threads", base.threads)?,
+            rng: args.get_or("rng", base.rng)?,
             quiet: args.flag("quiet"),
-        })
+        };
+        if params.rng == RngMode::PerNode && params.engine == EngineKind::Btree {
+            return Err(String::from(
+                "--rng per-node requires --engine dense (the BTree oracle is shared-stream only)",
+            ));
+        }
+        Ok(params)
     }
 
     /// The number of dissemination worker threads to use: the `--threads`
@@ -174,6 +195,20 @@ impl ExperimentParams {
     pub fn dissemination_rng(&self) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(17))
     }
+
+    /// Builds the arena membership runtime in the RNG mode these parameters
+    /// select: the shared-stream runtime, or the per-node frontier runtime
+    /// at gossip period 1 (every node steps every cycle — the same cadence
+    /// the shared runtime and the BTree oracle use) with the `--threads`
+    /// worker count.
+    pub fn dense_network(&self) -> DenseSimNetwork {
+        match self.rng {
+            RngMode::Shared => DenseSimNetwork::new(self.sim_config(), self.seed),
+            RngMode::PerNode => {
+                DenseSimNetwork::new_per_node(self.sim_config(), self.seed, 1, self.thread_count())
+            }
+        }
+    }
 }
 
 /// Runs the membership phase on the engine selected by `params.engine` and
@@ -186,7 +221,7 @@ fn with_warmed_runtime<T>(
 ) -> T {
     match params.engine {
         EngineKind::Dense => {
-            let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+            let mut network = params.dense_network();
             let cycles = warm(&mut network);
             f(&network, cycles)
         }
@@ -240,7 +275,7 @@ pub fn static_overlay(params: &ExperimentParams) -> SnapshotOverlay {
 pub fn static_dense_overlay(params: &ExperimentParams) -> DenseOverlay {
     match params.engine {
         EngineKind::Dense => {
-            let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+            let mut network = params.dense_network();
             warm_with_heartbeat(&mut network, params.warmup_cycles, params.quiet);
             DenseOverlay::from_dense_sim(&network)
         }
@@ -323,7 +358,7 @@ pub fn churn_overlay_with_cycles(params: &ExperimentParams) -> (SnapshotOverlay,
 pub fn churn_scenario(params: &ExperimentParams) -> (DenseOverlay, SnapshotOverlay, usize) {
     match params.engine {
         EngineKind::Dense => {
-            let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+            let mut network = params.dense_network();
             let cycles = run_churn_warmup(params, &mut network);
             let dense = DenseOverlay::from_dense_sim(&network);
             let snapshot: OverlaySnapshot = network.overlay_snapshot();
@@ -355,7 +390,7 @@ pub fn static_dense_overlay_probed<P: Probe>(
         "probed runs require the dense engine"
     );
     profiler.stage("overlay build");
-    let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+    let mut network = params.dense_network();
     profiler.stage("warm-up");
     let mut heartbeat = Heartbeat::new(params.warmup_cycles as u64, "cycles", params.quiet);
     let mut done = 0usize;
@@ -388,7 +423,7 @@ pub fn churn_dense_overlay_probed<P: Probe>(
         "probed runs require the dense engine"
     );
     profiler.stage("overlay build");
-    let mut network = DenseSimNetwork::new(params.sim_config(), params.seed);
+    let mut network = params.dense_network();
     profiler.stage("warm-up");
     let mut driver = ChurnDriver::new(ChurnConfig {
         rate: params.churn_rate,
@@ -424,6 +459,7 @@ mod tests {
             churn_max_cycles: 400,
             engine: EngineKind::Dense,
             threads: 2,
+            rng: RngMode::Shared,
             quiet: true,
         }
     }
@@ -464,6 +500,39 @@ mod tests {
         assert!(ExperimentParams::from_args(&bad).is_err());
         assert_eq!("dense".parse::<EngineKind>().unwrap(), EngineKind::Dense);
         assert_eq!(EngineKind::Btree.to_string(), "btree");
+    }
+
+    #[test]
+    fn rng_mode_parses_and_rejects_the_btree_engine() {
+        let args = Args::parse(["--rng", "per-node"]).unwrap();
+        let params = ExperimentParams::from_args(&args).unwrap();
+        assert_eq!(params.rng, RngMode::PerNode);
+
+        assert_eq!(ExperimentParams::quick().rng, RngMode::Shared);
+        assert_eq!(ExperimentParams::paper().rng, RngMode::Shared);
+
+        let clash = Args::parse(["--rng", "per-node", "--engine", "btree"]).unwrap();
+        let err = ExperimentParams::from_args(&clash).unwrap_err();
+        assert!(err.contains("dense"), "unexpected error text: {err}");
+    }
+
+    #[test]
+    fn per_node_overlays_are_thread_invariant() {
+        let base = ExperimentParams {
+            rng: RngMode::PerNode,
+            threads: 1,
+            ..tiny()
+        };
+        let one = static_dense_overlay(&base);
+        let four = static_dense_overlay(&ExperimentParams {
+            threads: 4,
+            ..base.clone()
+        });
+        assert_eq!(one.live_node_ids(), four.live_node_ids());
+        for id in one.live_node_ids() {
+            assert_eq!(one.r_links(id), four.r_links(id));
+            assert_eq!(one.d_links(id), four.d_links(id));
+        }
     }
 
     #[test]

@@ -228,6 +228,7 @@ mod tests {
             churn_max_cycles: 300,
             engine: EngineKind::Dense,
             threads: 1,
+            rng: hybridcast_sim::RngMode::Shared,
             quiet: true,
         }
     }

@@ -38,6 +38,7 @@ fn params(engine: EngineKind) -> ExperimentParams {
         churn_max_cycles: 0,
         engine,
         threads: 1,
+        rng: hybridcast_sim::RngMode::Shared,
         quiet: true,
     }
 }

@@ -145,6 +145,14 @@ pub fn run_seed(master_seed: u64, run: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The simulation-side sibling of [`run_seed`]: mixes
+/// `(master_seed, stream, cycle)` into the seed of one counter-based
+/// per-node RNG stream (`--rng per-node`). Re-exported here so the two
+/// derivation conventions of the workspace — per-*run* seeds for
+/// dissemination experiments, per-*node-cycle* seeds for the membership
+/// simulation — live side by side.
+pub use hybridcast_sim::stream_seed;
+
 /// A sensible worker count for [`run_seeded_disseminations`]: the machine's
 /// available parallelism, or 1 if it cannot be determined.
 pub fn default_threads() -> usize {

@@ -108,7 +108,7 @@ pub use engine::{disseminate, disseminate_dense, disseminate_dense_probed, Dense
 pub use experiment::{
     run_parallel_experiment, run_seed, run_seeded_async, run_seeded_async_probed,
     run_seeded_disseminations, run_seeded_disseminations_probed, run_seeded_push_pulls,
-    run_seeded_push_pulls_probed,
+    run_seeded_push_pulls_probed, stream_seed,
 };
 pub use metrics::DisseminationReport;
 pub use netmodel::{DelayModel, LossModel, NetModel, PartitionEvent};

@@ -55,4 +55,4 @@ pub use cyclon::CyclonNode;
 pub use descriptor::Descriptor;
 pub use sampling::PeerSampling;
 pub use vicinity::VicinityNode;
-pub use view::View;
+pub use view::{oldest_descriptor_index, View};

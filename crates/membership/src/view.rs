@@ -151,10 +151,8 @@ impl<P: Clone> View<P> {
     /// Returns the id of the descriptor with the highest age (ties broken by
     /// lower node id for determinism), or `None` if the view is empty.
     pub fn oldest(&self) -> Option<NodeId> {
-        self.entries
-            .iter()
-            .max_by(|a, b| a.age.cmp(&b.age).then(b.id.cmp(&a.id)))
-            .map(|d| d.id)
+        oldest_descriptor_index(self.entries.iter().map(|d| (d.id.as_u64(), d.age)))
+            .map(|i| self.entries[i].id)
     }
 
     /// Returns up to `count` node ids drawn uniformly at random without
@@ -216,6 +214,28 @@ impl<P: Clone> View<P> {
     pub fn retain<F: FnMut(&Descriptor<P>) -> bool>(&mut self, keep: F) {
         self.entries.retain(keep);
     }
+}
+
+/// The index of the oldest `(id, age)` descriptor — highest age, ties broken
+/// by **lower** node id — or `None` for an empty iterator.
+///
+/// This is the protocol's oldest-neighbour selection rule (Cyclon picks its
+/// shuffle target this way, Vicinity its exchange partner), kept in one
+/// place so every runtime agrees on the tie-break: [`View::oldest`]
+/// delegates here, and the arena-based simulation runtime applies the same
+/// function to its flat descriptor slices.
+pub fn oldest_descriptor_index(entries: impl IntoIterator<Item = (u64, u32)>) -> Option<usize> {
+    let mut best: Option<(usize, u64, u32)> = None;
+    for (i, (id, age)) in entries.into_iter().enumerate() {
+        let replace = match best {
+            None => true,
+            Some((_, bid, bage)) => age > bage || (age == bage && id < bid),
+        };
+        if replace {
+            best = Some((i, id, age));
+        }
+    }
+    best.map(|(i, _, _)| i)
 }
 
 #[cfg(test)]

@@ -1,0 +1,472 @@
+//! Slice-based view-arena operations shared by both epoch kernels.
+//!
+//! The arena runtime stores every node's Cyclon view (and one Vicinity view
+//! per ring) as fixed-stride rows of flat parallel arrays. Two kernels
+//! operate on those rows:
+//!
+//! * the shared-stream sequential kernel in [`crate::dense`], which walks
+//!   the whole arena through one RNG stream (bit-identical to the BTree
+//!   oracle), and
+//! * the per-node frontier kernel in [`crate::frontier`], whose phase
+//!   workers each own a **contiguous chunk** of the arena so a cycle can be
+//!   stepped by several threads without unsafe code.
+//!
+//! [`CyChunk`] and [`ViChunk`] are the common currency: mutable windows
+//! over a contiguous slot range (`base..base + slots`) with all protocol
+//! operations — ageing, oldest-selection, order-preserving removal, the
+//! Cyclon merge rule and the Vicinity rank-and-keep merge — expressed
+//! against chunk-relative rows. The sequential kernel simply builds a chunk
+//! covering the full arena (`base == 0`). Keeping one implementation of the
+//! merge rules is what guarantees the two kernels agree on protocol
+//! semantics even though their RNG schedules differ.
+
+use hybridcast_graph::cast::{idx, to_u32};
+use hybridcast_graph::NodeId;
+use hybridcast_membership::oldest_descriptor_index;
+use hybridcast_membership::proximity::rank_by_ring_distance_into;
+
+/// A Cyclon payload descriptor in scratch space: `(node id, age, offset of
+/// the ring-position profile in the side pool)`.
+pub(crate) type CyDesc = (u64, u32, u32);
+
+/// A Vicinity payload descriptor / merge-pool entry:
+/// `(node id, age, ring key)`.
+pub(crate) type ViDesc = (u64, u32, u64);
+
+/// Reusable ranking buffers for [`rank_by_ring_distance_into`] plus the
+/// Vicinity merge pool. One instance per worker keeps the hot path
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ViScratch {
+    /// Vicinity merge pool (own view + received + random-layer candidates).
+    pub pool: Vec<ViDesc>,
+    /// Ring-distance ranking buffers.
+    pub rank_in: Vec<(u64, NodeId, u32)>,
+    pub rank_taken: Vec<bool>,
+    pub rank_out: Vec<(u64, NodeId, u32)>,
+}
+
+/// A mutable window over the Cyclon descriptor arena covering the slot
+/// range `base..base + len.len()`. All row indices are absolute slots; the
+/// chunk translates them to its local range.
+pub(crate) struct CyChunk<'a> {
+    pub id: &'a mut [u64],
+    pub age: &'a mut [u32],
+    /// Descriptor profiles: ring positions (stride `cyc * rings` per slot).
+    pub pos: &'a mut [u64],
+    pub len: &'a mut [u32],
+    /// View capacity (row stride of `id` / `age`).
+    pub cyc: usize,
+    /// Profile width (`pos` stride is `cyc * rings`).
+    pub rings: usize,
+    /// First absolute slot this chunk covers.
+    pub base: usize,
+}
+
+/// Builds a [`CyChunk`] over the whole Cyclon arena of a
+/// [`crate::DenseSimNetwork`], borrowing only the `cy_*` fields so the
+/// caller keeps access to its RNG and the other arenas.
+macro_rules! cy_chunk_full {
+    ($net:expr) => {
+        $crate::arena::CyChunk {
+            id: &mut $net.cy_id,
+            age: &mut $net.cy_age,
+            pos: &mut $net.cy_pos,
+            len: &mut $net.cy_len,
+            cyc: $net.cyc,
+            rings: $net.rings,
+            base: 0,
+        }
+    };
+}
+pub(crate) use cy_chunk_full;
+
+/// Builds a [`ViChunk`] over the whole Vicinity arena of a
+/// [`crate::DenseSimNetwork`] (see [`cy_chunk_full`]).
+macro_rules! vi_chunk_full {
+    ($net:expr) => {
+        $crate::arena::ViChunk {
+            id: &mut $net.vi_id,
+            age: &mut $net.vi_age,
+            key: &mut $net.vi_key,
+            len: &mut $net.vi_len,
+            vic: $net.vic,
+            vic_rings: $net.vic_rings,
+            gos: $net.gos,
+            base: 0,
+        }
+    };
+}
+pub(crate) use vi_chunk_full;
+
+impl CyChunk<'_> {
+    /// Chunk-local row index of an absolute slot.
+    fn l(&self, slot: u32) -> usize {
+        idx(slot) - self.base
+    }
+
+    /// Current view length of `slot`.
+    pub fn view_len(&self, slot: u32) -> usize {
+        idx(self.len[self.l(slot)])
+    }
+
+    /// The view ids of `slot`, in view order.
+    pub fn ids(&self, slot: u32) -> &[u64] {
+        let base = self.l(slot) * self.cyc;
+        &self.id[base..base + self.view_len(slot)]
+    }
+
+    /// The `(id, age)` of view entry `i` of `slot`.
+    pub fn entry(&self, slot: u32, i: usize) -> (u64, u32) {
+        let base = self.l(slot) * self.cyc;
+        (self.id[base + i], self.age[base + i])
+    }
+
+    /// The ring-position profile of view entry `i` of `slot`.
+    pub fn profile(&self, slot: u32, i: usize) -> &[u64] {
+        let src = (self.l(slot) * self.cyc + i) * self.rings;
+        &self.pos[src..src + self.rings]
+    }
+
+    /// `begin_cycle`: age every entry by one (saturating).
+    pub fn age_view(&mut self, slot: u32) {
+        let base = self.l(slot) * self.cyc;
+        let len = self.view_len(slot);
+        for age in &mut self.age[base..base + len] {
+            *age = age.saturating_add(1);
+        }
+    }
+
+    /// The view position of the oldest entry (ties toward lower id), if any
+    /// — the protocol's shuffle-target selection rule.
+    pub fn oldest(&self, slot: u32) -> Option<usize> {
+        let base = self.l(slot) * self.cyc;
+        let len = self.view_len(slot);
+        oldest_descriptor_index(
+            self.id[base..base + len]
+                .iter()
+                .zip(&self.age[base..base + len])
+                .map(|(&id, &age)| (id, age)),
+        )
+    }
+
+    /// Returns `true` if the slot's view contains `id`.
+    pub fn contains(&self, slot: u32, id: u64) -> bool {
+        self.ids(slot).contains(&id)
+    }
+
+    /// Appends a descriptor (caller checks room).
+    pub fn push(&mut self, slot: u32, id: u64, age: u32, profile: &[u64]) {
+        let s = self.l(slot);
+        let len = idx(self.len[s]);
+        debug_assert!(len < self.cyc);
+        self.id[s * self.cyc + len] = id;
+        self.age[s * self.cyc + len] = age;
+        let dst = (s * self.cyc + len) * self.rings;
+        self.pos[dst..dst + self.rings].copy_from_slice(profile);
+        self.len[s] = to_u32(len + 1);
+    }
+
+    /// Removes the view entry at position `pos`, shifting later entries
+    /// left (the arena equivalent of `Vec::remove`, preserving order).
+    pub fn remove_at(&mut self, slot: u32, pos: usize) {
+        let s = self.l(slot);
+        let len = idx(self.len[s]);
+        debug_assert!(pos < len);
+        let base = s * self.cyc;
+        self.id.copy_within(base + pos + 1..base + len, base + pos);
+        self.age.copy_within(base + pos + 1..base + len, base + pos);
+        let pbase = base * self.rings;
+        self.pos.copy_within(
+            pbase + (pos + 1) * self.rings..pbase + len * self.rings,
+            pbase + pos * self.rings,
+        );
+        self.len[s] = to_u32(len - 1);
+    }
+
+    /// Removes the descriptor for `id` if present. Returns `true` on
+    /// removal.
+    pub fn remove_id(&mut self, slot: u32, id: u64) -> bool {
+        match self.ids(slot).iter().position(|&e| e == id) {
+            Some(pos) => {
+                self.remove_at(slot, pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The Cyclon merge rule (`CyclonNode::merge_received`): fill empty
+    /// view slots first, then evict descriptors this node shipped out
+    /// (`sent`), never anything else.
+    pub fn merge(
+        &mut self,
+        slot: u32,
+        self_id: u64,
+        received: &[CyDesc],
+        received_prof: &[u64],
+        sent: &[CyDesc],
+        replaceable: &mut Vec<u64>,
+    ) {
+        replaceable.clear();
+        replaceable.extend(sent.iter().map(|d| d.0).filter(|&id| id != self_id));
+        for &(id, age, pofs) in received {
+            if id == self_id || self.contains(slot, id) {
+                continue;
+            }
+            let s = self.l(slot);
+            if idx(self.len[s]) < self.cyc {
+                let profile = &received_prof[idx(pofs)..idx(pofs) + self.rings];
+                self.push(slot, id, age, profile);
+                continue;
+            }
+            let mut evicted = false;
+            while let Some(candidate) = replaceable.pop() {
+                if self.remove_id(slot, candidate) {
+                    evicted = true;
+                    break;
+                }
+            }
+            if evicted {
+                let profile = &received_prof[idx(pofs)..idx(pofs) + self.rings];
+                self.push(slot, id, age, profile);
+            }
+        }
+    }
+
+    /// Projects a slot's view onto ring `ring` — every descriptor re-keyed
+    /// with the peer's position on that ring (the random layer feeding the
+    /// proximity layer).
+    pub fn ring_candidates_into(&self, slot: u32, ring: usize, out: &mut Vec<ViDesc>) {
+        out.clear();
+        let base = self.l(slot) * self.cyc;
+        let len = self.view_len(slot);
+        for i in 0..len {
+            let key = self.pos[(base + i) * self.rings + ring];
+            out.push((self.id[base + i], self.age[base + i], key));
+        }
+    }
+}
+
+/// A **read-only** view of the whole Cyclon arena. The Vicinity phases of
+/// the frontier kernel read ring candidates out of the (then immutable)
+/// Cyclon views from several worker threads at once while the Vicinity
+/// arena is split into mutable chunks; a shared view is what makes that
+/// possible without unsafe code.
+#[derive(Clone, Copy)]
+pub(crate) struct CyView<'a> {
+    pub id: &'a [u64],
+    pub age: &'a [u32],
+    pub pos: &'a [u64],
+    pub len: &'a [u32],
+    pub cyc: usize,
+    pub rings: usize,
+}
+
+impl CyView<'_> {
+    /// Current view length of `slot`.
+    pub fn view_len(&self, slot: u32) -> usize {
+        idx(self.len[idx(slot)])
+    }
+
+    /// See [`CyChunk::ring_candidates_into`].
+    pub fn ring_candidates_into(&self, slot: u32, ring: usize, out: &mut Vec<ViDesc>) {
+        out.clear();
+        let base = idx(slot) * self.cyc;
+        let len = self.view_len(slot);
+        for i in 0..len {
+            let key = self.pos[(base + i) * self.rings + ring];
+            out.push((self.id[base + i], self.age[base + i], key));
+        }
+    }
+}
+
+/// A mutable window over the Vicinity descriptor arena covering the slot
+/// range `base..base + len.len() / vic_rings` (see [`CyChunk`]).
+pub(crate) struct ViChunk<'a> {
+    pub id: &'a mut [u64],
+    pub age: &'a mut [u32],
+    pub key: &'a mut [u64],
+    /// View lengths (stride `vic_rings` per slot).
+    pub len: &'a mut [u32],
+    /// View capacity per ring.
+    pub vic: usize,
+    /// Vicinity instances per node.
+    pub vic_rings: usize,
+    /// Exchange payload length (clamped like `VicinityNode`).
+    pub gos: usize,
+    /// First absolute slot this chunk covers.
+    pub base: usize,
+}
+
+impl ViChunk<'_> {
+    fn l(&self, slot: u32) -> usize {
+        idx(slot) - self.base
+    }
+
+    /// Base offset of a slot's view for one ring.
+    fn row(&self, slot: u32, ring: usize) -> usize {
+        (self.l(slot) * self.vic_rings + ring) * self.vic
+    }
+
+    /// Current view length of `slot` on `ring`.
+    pub fn view_len(&self, slot: u32, ring: usize) -> usize {
+        idx(self.len[self.l(slot) * self.vic_rings + ring])
+    }
+
+    /// `begin_cycle`: age every view entry on `ring`.
+    pub fn age_view(&mut self, slot: u32, ring: usize) {
+        let base = self.row(slot, ring);
+        let len = self.view_len(slot, ring);
+        for age in &mut self.age[base..base + len] {
+            *age = age.saturating_add(1);
+        }
+    }
+
+    /// The id of the oldest view entry (ties toward lower id), if any —
+    /// the exchange-partner selection rule.
+    pub fn oldest_id(&self, slot: u32, ring: usize) -> Option<u64> {
+        let base = self.row(slot, ring);
+        let len = self.view_len(slot, ring);
+        oldest_descriptor_index(
+            self.id[base..base + len]
+                .iter()
+                .zip(&self.age[base..base + len])
+                .map(|(&id, &age)| (id, age)),
+        )
+        .map(|i| self.id[base + i])
+    }
+
+    /// The ring key of `id` in the slot's view, if present.
+    pub fn get_key(&self, slot: u32, ring: usize, id: u64) -> Option<u64> {
+        let base = self.row(slot, ring);
+        let len = self.view_len(slot, ring);
+        self.id[base..base + len]
+            .iter()
+            .position(|&e| e == id)
+            .map(|pos| self.key[base + pos])
+    }
+
+    /// Removes the descriptor for `id` if present (order-preserving shift).
+    pub fn remove_id(&mut self, slot: u32, ring: usize, id: u64) {
+        let base = self.row(slot, ring);
+        let len = self.view_len(slot, ring);
+        if let Some(pos) = self.id[base..base + len].iter().position(|&e| e == id) {
+            self.id.copy_within(base + pos + 1..base + len, base + pos);
+            self.age.copy_within(base + pos + 1..base + len, base + pos);
+            self.key.copy_within(base + pos + 1..base + len, base + pos);
+            self.len[self.l(slot) * self.vic_rings + ring] = to_u32(len - 1);
+        }
+    }
+
+    /// The Vicinity request/reply payload rule (`VicinityNode::payload_for`):
+    /// the view entries closest to the target's key (never the target
+    /// itself), capped at `gos - 1`, plus a fresh descriptor of the local
+    /// node. `target` and `own` are `(id, ring key)` pairs.
+    pub fn payload_into(
+        &self,
+        slot: u32,
+        ring: usize,
+        target: (u64, u64),
+        own: (u64, u64),
+        out: &mut Vec<ViDesc>,
+        scratch: &mut ViScratch,
+    ) {
+        let base = self.row(slot, ring);
+        let len = self.view_len(slot, ring);
+        scratch.rank_in.clear();
+        for i in 0..len {
+            let id = self.id[base + i];
+            if id == target.0 {
+                continue;
+            }
+            scratch
+                .rank_in
+                .push((self.key[base + i], NodeId::new(id), self.age[base + i]));
+        }
+        rank_by_ring_distance_into(
+            &target.1,
+            &mut scratch.rank_in,
+            &mut scratch.rank_taken,
+            &mut scratch.rank_out,
+        );
+        out.clear();
+        out.extend(
+            scratch
+                .rank_out
+                .iter()
+                .take(self.gos.saturating_sub(1))
+                .map(|&(key, id, age)| (id.as_u64(), age, key)),
+        );
+        out.push((own.0, 0, own.1));
+    }
+
+    /// The Vicinity merge rule (`VicinityNode::merge`): pool = own view
+    /// entries + received descriptors + random-layer candidates (younger
+    /// duplicate wins, in first-seen position), then keep the `vic` entries
+    /// closest to the local key. `own` is the local `(id, ring key)`.
+    pub fn merge(
+        &mut self,
+        slot: u32,
+        ring: usize,
+        own: (u64, u64),
+        received: &[ViDesc],
+        cyclon_candidates: &[ViDesc],
+        scratch: &mut ViScratch,
+    ) {
+        let (self_id, own_key) = own;
+
+        fn pool_add(pool: &mut Vec<ViDesc>, self_id: u64, d: ViDesc) {
+            if d.0 == self_id {
+                return;
+            }
+            match pool.iter_mut().find(|e| e.0 == d.0) {
+                Some(existing) => {
+                    if d.1 < existing.1 {
+                        *existing = d;
+                    }
+                }
+                None => pool.push(d),
+            }
+        }
+
+        scratch.pool.clear();
+        let base = self.row(slot, ring);
+        let len = self.view_len(slot, ring);
+        for i in 0..len {
+            pool_add(
+                &mut scratch.pool,
+                self_id,
+                (self.id[base + i], self.age[base + i], self.key[base + i]),
+            );
+        }
+        for &d in received {
+            pool_add(&mut scratch.pool, self_id, d);
+        }
+        for &d in cyclon_candidates {
+            pool_add(&mut scratch.pool, self_id, d);
+        }
+
+        scratch.rank_in.clear();
+        scratch.rank_in.extend(
+            scratch
+                .pool
+                .iter()
+                .map(|&(id, age, key)| (key, NodeId::new(id), age)),
+        );
+        rank_by_ring_distance_into(
+            &own_key,
+            &mut scratch.rank_in,
+            &mut scratch.rank_taken,
+            &mut scratch.rank_out,
+        );
+
+        let take = scratch.rank_out.len().min(self.vic);
+        for (i, &(key, id, age)) in scratch.rank_out.iter().take(take).enumerate() {
+            self.id[base + i] = id.as_u64();
+            self.age[base + i] = age;
+            self.key[base + i] = key;
+        }
+        self.len[self.l(slot) * self.vic_rings + ring] = to_u32(take);
+    }
+}

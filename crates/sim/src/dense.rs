@@ -39,46 +39,52 @@ use rand_chacha::ChaCha8Rng;
 
 use hybridcast_graph::cast::{idx, to_u32};
 use hybridcast_graph::NodeId;
-use hybridcast_membership::proximity::{rank_by_ring_distance_into, ring_neighbors};
+use hybridcast_membership::proximity::ring_neighbors;
 use hybridcast_obs::{NullProbe, Probe, TraceEvent};
 
+use crate::arena::{cy_chunk_full, vi_chunk_full, CyDesc, ViDesc, ViScratch};
 use crate::config::SimConfig;
+use crate::frontier::{PerNodeState, RngMode};
 use crate::runtime::GossipRuntime;
 use crate::snapshot::{NodeSnapshot, OverlaySnapshot};
 
 /// A growable bitset over slot indices.
 #[derive(Debug, Clone, Default)]
-struct SlotBits {
+pub(crate) struct SlotBits {
     words: Vec<u64>,
 }
 
 impl SlotBits {
-    fn grow_to(&mut self, len: usize) {
+    pub(crate) fn grow_to(&mut self, len: usize) {
         let words = len.div_ceil(64);
         if self.words.len() < words {
             self.words.resize(words, 0);
         }
     }
 
-    fn get(&self, bit: u32) -> bool {
+    pub(crate) fn get(&self, bit: u32) -> bool {
         self.words[idx(bit) / 64] & (1 << (idx(bit) % 64)) != 0
     }
 
-    fn set(&mut self, bit: u32) {
+    pub(crate) fn set(&mut self, bit: u32) {
         self.words[idx(bit) / 64] |= 1 << (idx(bit) % 64);
     }
 
-    fn clear(&mut self, bit: u32) {
+    pub(crate) fn clear(&mut self, bit: u32) {
         self.words[idx(bit) / 64] &= !(1 << (idx(bit) % 64));
     }
 }
 
-/// A Cyclon payload descriptor in scratch space: `(node id, age, offset of
-/// the ring-position profile in the side pool)`.
-type CyDesc = (u64, u32, u32);
-
-/// A Vicinity payload descriptor / merge-pool entry: `(node id, age, ring key)`.
-type ViDesc = (u64, u32, u64);
+/// The slot of a live node, found by binary search over the id-sorted live
+/// index. A free function (rather than a method) so kernels holding mutable
+/// borrows of the descriptor arenas can still resolve liveness from the
+/// untouched `by_id` / `ids` arrays.
+pub(crate) fn lookup_live_in(by_id: &[u32], ids: &[u64], id: u64) -> Option<u32> {
+    by_id
+        .binary_search_by(|&slot| ids[idx(slot)].cmp(&id))
+        .ok()
+        .map(|i| by_id[i])
+}
 
 /// Reusable buffers for one epoch step. All per-exchange payloads, candidate
 /// lists and ranking buffers live here, so a warm gossip cycle allocates
@@ -103,12 +109,8 @@ struct EpochScratch {
     pay: Vec<ViDesc>,
     /// Vicinity exchange reply payload.
     reply_v: Vec<ViDesc>,
-    /// Vicinity merge pool (own view + received + random-layer candidates).
-    pool: Vec<ViDesc>,
-    /// Ring-distance ranking buffers.
-    rank_in: Vec<(u64, NodeId, u32)>,
-    rank_taken: Vec<bool>,
-    rank_out: Vec<(u64, NodeId, u32)>,
+    /// Vicinity merge pool and ring-distance ranking buffers.
+    vi_scratch: ViScratch,
 }
 
 /// Flat link arrays of a frozen overlay, the zero-copy export of
@@ -151,49 +153,60 @@ pub struct FlatLinks {
 pub struct DenseSimNetwork {
     config: SimConfig,
     /// Ring positions per node (`config.rings.max(1)`).
-    rings: usize,
+    pub(crate) rings: usize,
     /// Vicinity instances per node (0 when Vicinity is disabled).
-    vic_rings: usize,
+    pub(crate) vic_rings: usize,
     /// Cyclon view capacity / shuffle length (clamped like `CyclonNode`).
-    cyc: usize,
-    shuf: usize,
+    pub(crate) cyc: usize,
+    pub(crate) shuf: usize,
     /// Vicinity view capacity / gossip length (clamped like `VicinityNode`).
-    vic: usize,
-    gos: usize,
-    cycle: u64,
+    pub(crate) vic: usize,
+    pub(crate) gos: usize,
+    pub(crate) cycle: u64,
     next_id: u64,
+    /// The shared simulation stream: bootstrap ring positions, the cycle
+    /// gossip order and every draw of the shared-stream kernel. In per-node
+    /// mode it serves **only** the driver surface (spawn positions,
+    /// [`DenseSimNetwork::random_live_node`]); cycle stepping never touches
+    /// it.
     rng: ChaCha8Rng,
 
     // ---- slot arenas -----------------------------------------------------
     /// Slot -> node id.
-    ids: Vec<u64>,
+    pub(crate) ids: Vec<u64>,
     /// Slot -> join cycle.
-    joined: Vec<u64>,
+    pub(crate) joined: Vec<u64>,
     /// Slot -> ring positions (stride `rings`).
-    positions: Vec<u64>,
+    pub(crate) positions: Vec<u64>,
     /// Liveness bitset over slots.
-    live: SlotBits,
+    pub(crate) live: SlotBits,
     /// Reusable slots of departed nodes.
     free: Vec<u32>,
     /// Live slots in ascending id order (ids are assigned monotonically, so
     /// spawns append and kills remove in place).
-    by_id: Vec<u32>,
+    pub(crate) by_id: Vec<u32>,
 
     // ---- Cyclon descriptor arena (stride `cyc` per slot) -----------------
-    cy_id: Vec<u64>,
-    cy_age: Vec<u32>,
+    pub(crate) cy_id: Vec<u64>,
+    pub(crate) cy_age: Vec<u32>,
     /// Descriptor profiles: ring positions (stride `cyc * rings` per slot).
-    cy_pos: Vec<u64>,
-    cy_len: Vec<u32>,
+    pub(crate) cy_pos: Vec<u64>,
+    pub(crate) cy_len: Vec<u32>,
 
     // ---- Vicinity descriptor arena (stride `vic_rings * vic` per slot) ---
-    vi_id: Vec<u64>,
-    vi_age: Vec<u32>,
-    vi_key: Vec<u64>,
+    pub(crate) vi_id: Vec<u64>,
+    pub(crate) vi_age: Vec<u32>,
+    pub(crate) vi_key: Vec<u64>,
     /// View lengths (stride `vic_rings` per slot).
-    vi_len: Vec<u32>,
+    pub(crate) vi_len: Vec<u32>,
 
     scratch: EpochScratch,
+
+    /// Per-node-stream state (`Some` iff the network was built with
+    /// [`DenseSimNetwork::new_per_node`]): counter-based RNG stream
+    /// bookkeeping, the due-cycle frontier scheduler and the worker lanes
+    /// of the phased kernel.
+    pub(crate) per_node: Option<Box<PerNodeState>>,
 }
 
 impl DenseSimNetwork {
@@ -238,11 +251,39 @@ impl DenseSimNetwork {
             vi_key: Vec::with_capacity(nodes * vic_rings * vic),
             vi_len: Vec::with_capacity(nodes * vic_rings.max(1)),
             scratch: EpochScratch::default(),
+            per_node: None,
         };
         let introducer = net.spawn_node(None);
         for _ in 1..net.config.nodes {
             net.spawn_node(Some(introducer));
         }
+        net
+    }
+
+    /// Boots a network in **per-node RNG mode** (`--rng per-node`): every
+    /// node's draws come from a dedicated counter-based ChaCha8 stream
+    /// derived from `(master seed, slot generation id, cycle)`, cycles step
+    /// only the sparse frontier of nodes whose gossip timer is due (every
+    /// `period` cycles, with stream-derived staggering), and a cycle can be
+    /// fanned out across `threads` workers with bit-identical results at
+    /// any thread count. See [`crate::frontier`] for the full contract.
+    ///
+    /// The driver surface (`spawn_node` ring positions,
+    /// [`DenseSimNetwork::random_live_node`], [`DenseSimNetwork::with_rng`])
+    /// still consumes the shared stream exactly like [`DenseSimNetwork::new`]
+    /// — only cycle stepping differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not validate or `period == 0`.
+    pub fn new_per_node(config: SimConfig, seed: u64, period: u64, threads: usize) -> Self {
+        assert!(period > 0, "gossip period must be positive");
+        let mut net = Self::new(config, seed);
+        let mut state = PerNodeState::new(seed, period, threads);
+        for i in 0..net.by_id.len() {
+            state.on_spawn(net.by_id[i], net.cycle);
+        }
+        net.per_node = Some(Box::new(state));
         net
     }
 
@@ -310,19 +351,33 @@ impl DenseSimNetwork {
             .collect()
     }
 
-    /// Access to the simulation RNG, for drivers that need extra randomness
-    /// tied to the same seed.
-    pub fn rng(&mut self) -> &mut ChaCha8Rng {
-        &mut self.rng
+    /// Runs `f` with scoped access to the driver RNG, for drivers that need
+    /// extra randomness tied to the same seed (e.g. choosing dissemination
+    /// origins).
+    ///
+    /// This replaces the old `rng()` accessor, which leaked `&mut ChaCha8Rng`
+    /// and let callers silently desync the simulation draw sequence; the
+    /// closure form keeps every extra draw an explicit, auditable event. In
+    /// per-node mode this stream is the **driver** stream only (spawn
+    /// positions, [`DenseSimNetwork::random_live_node`], and these scoped
+    /// draws); cycle stepping never touches it.
+    pub fn with_rng<T>(&mut self, f: impl FnOnce(&mut ChaCha8Rng) -> T) -> T {
+        f(&mut self.rng)
+    }
+
+    /// The RNG mode this network was built with.
+    pub fn rng_mode(&self) -> RngMode {
+        if self.per_node.is_some() {
+            RngMode::PerNode
+        } else {
+            RngMode::Shared
+        }
     }
 
     /// The slot of a live node, found by binary search over the id-sorted
     /// live index.
     fn lookup_live(&self, id: u64) -> Option<u32> {
-        self.by_id
-            .binary_search_by(|&slot| self.ids[idx(slot)].cmp(&id))
-            .ok()
-            .map(|i| self.by_id[i])
+        lookup_live_in(&self.by_id, &self.ids, id)
     }
 
     /// Creates a brand-new node, reusing a free slot when one exists.
@@ -381,6 +436,10 @@ impl DenseSimNetwork {
         self.live.set(slot);
         // Ids grow monotonically, so appending keeps `by_id` sorted.
         self.by_id.push(slot);
+        let cycle = self.cycle;
+        if let Some(state) = self.per_node.as_deref_mut() {
+            state.on_spawn(slot, cycle);
+        }
         NodeId::new(id)
     }
 
@@ -420,7 +479,11 @@ impl DenseSimNetwork {
     /// [`crate::Network::run_cycles_probed`] emits from the same seed.
     pub fn run_cycles_probed<P: Probe>(&mut self, count: usize, probe: &mut P) {
         for _ in 0..count {
-            self.run_single_cycle_probed(probe);
+            if self.per_node.is_some() {
+                self.run_single_cycle_per_node(probe);
+            } else {
+                self.run_single_cycle_probed(probe);
+            }
         }
     }
 
@@ -456,103 +519,42 @@ impl DenseSimNetwork {
 
     // ---- Cyclon over the arena ------------------------------------------
 
-    /// Returns `true` if the slot's Cyclon view contains `id`.
-    fn cy_contains(&self, slot: u32, id: u64) -> bool {
-        let base = idx(slot) * self.cyc;
-        let len = idx(self.cy_len[idx(slot)]);
-        self.cy_id[base..base + len].contains(&id)
-    }
-
-    /// Appends a descriptor to the slot's Cyclon view (caller checks room).
-    fn cy_push(&mut self, slot: u32, id: u64, age: u32, profile: &[u64]) {
-        let s = idx(slot);
-        let len = idx(self.cy_len[s]);
-        debug_assert!(len < self.cyc);
-        self.cy_id[s * self.cyc + len] = id;
-        self.cy_age[s * self.cyc + len] = age;
-        let dst = (s * self.cyc + len) * self.rings;
-        self.cy_pos[dst..dst + self.rings].copy_from_slice(profile);
-        self.cy_len[s] = to_u32(len + 1);
-    }
-
-    /// Removes the view entry at position `pos`, shifting later entries
-    /// left (the arena equivalent of `Vec::remove`, preserving order).
-    fn cy_remove_at(&mut self, slot: u32, pos: usize) {
-        let s = idx(slot);
-        let len = idx(self.cy_len[s]);
-        debug_assert!(pos < len);
-        let base = s * self.cyc;
-        self.cy_id
-            .copy_within(base + pos + 1..base + len, base + pos);
-        self.cy_age
-            .copy_within(base + pos + 1..base + len, base + pos);
-        let pbase = base * self.rings;
-        self.cy_pos.copy_within(
-            pbase + (pos + 1) * self.rings..pbase + len * self.rings,
-            pbase + pos * self.rings,
-        );
-        self.cy_len[s] = to_u32(len - 1);
-    }
-
-    /// Removes the descriptor for `id` if present. Returns `true` on removal.
-    fn cy_remove_id(&mut self, slot: u32, id: u64) -> bool {
-        let base = idx(slot) * self.cyc;
-        let len = idx(self.cy_len[idx(slot)]);
-        match self.cy_id[base..base + len].iter().position(|&e| e == id) {
-            Some(pos) => {
-                self.cy_remove_at(slot, pos);
-                true
-            }
-            None => false,
-        }
-    }
-
     /// One Cyclon shuffle initiated by `slot`: ageing, oldest-neighbour
     /// selection, request/reply payloads and both merges — the arena replay
     /// of `CyclonNode::{begin_cycle, initiate_shuffle,
-    /// handle_shuffle_request, handle_shuffle_response}`.
+    /// handle_shuffle_request, handle_shuffle_response}`, expressed against
+    /// the shared [`crate::arena::CyChunk`] operations the frontier kernel
+    /// also uses.
     fn cyclon_gossip(&mut self, slot: u32, my_id: u64, s: &mut EpochScratch) {
+        let shuf = self.shuf;
         let rings = self.rings;
-        let base = idx(slot) * self.cyc;
-        let len = idx(self.cy_len[idx(slot)]);
+        let mut cy = cy_chunk_full!(self);
 
         // begin_cycle: age every entry by one (saturating).
-        for age in &mut self.cy_age[base..base + len] {
-            *age = age.saturating_add(1);
-        }
-        if len == 0 {
+        cy.age_view(slot);
+        if cy.view_len(slot) == 0 {
             return; // An isolated node cannot shuffle.
         }
 
-        // initiate_shuffle: pick the oldest entry (ties toward lower id)...
-        let mut best = 0usize;
-        for i in 1..len {
-            let (ba, bi) = (self.cy_age[base + best], self.cy_id[base + best]);
-            let (ia, ii) = (self.cy_age[base + i], self.cy_id[base + i]);
-            if ia > ba || (ia == ba && ii < bi) {
-                best = i;
-            }
-        }
-        let target = self.cy_id[base + best];
-        // ...remove it from the view...
-        self.cy_remove_at(slot, best);
-        let len = len - 1;
+        // initiate_shuffle: pick the oldest entry (ties toward lower id),
+        // remove it from the view...
+        let best = cy.oldest(slot).expect("view is non-empty");
+        let target = cy.entry(slot, best).0;
+        cy.remove_at(slot, best);
 
         // ...and build the request: `shuf - 1` random remaining entries
         // (full shuffle + truncate, matching `View::random_descriptors`'
         // draw sequence) plus a fresh descriptor of the initiator.
         s.sent.clear();
         s.sent_prof.clear();
-        for i in 0..len {
+        for i in 0..cy.view_len(slot) {
+            let (id, age) = cy.entry(slot, i);
             let pofs = to_u32(s.sent_prof.len());
-            let src = (base + i) * rings;
-            s.sent_prof
-                .extend_from_slice(&self.cy_pos[src..src + rings]);
-            s.sent
-                .push((self.cy_id[base + i], self.cy_age[base + i], pofs));
+            s.sent_prof.extend_from_slice(cy.profile(slot, i));
+            s.sent.push((id, age, pofs));
         }
         s.sent.shuffle(&mut self.rng);
-        s.sent.truncate(self.shuf.saturating_sub(1));
+        s.sent.truncate(shuf.saturating_sub(1));
         {
             let pofs = to_u32(s.sent_prof.len());
             let pos_base = idx(slot) * rings;
@@ -561,82 +563,49 @@ impl DenseSimNetwork {
             s.sent.push((my_id, 0, pofs));
         }
 
-        match self.lookup_live(target) {
+        match lookup_live_in(&self.by_id, &self.ids, target) {
             Some(peer) => {
                 // handle_shuffle_request: the reply is `shuf` random entries
                 // of the peer's view (never the initiator), captured before
                 // the peer merges the request.
-                let pbase = idx(peer) * self.cyc;
-                let plen = idx(self.cy_len[idx(peer)]);
                 s.reply.clear();
                 s.reply_prof.clear();
-                for i in 0..plen {
-                    let id = self.cy_id[pbase + i];
+                for i in 0..cy.view_len(peer) {
+                    let (id, age) = cy.entry(peer, i);
                     if id == my_id {
                         continue;
                     }
                     let pofs = to_u32(s.reply_prof.len());
-                    let src = (pbase + i) * rings;
-                    s.reply_prof
-                        .extend_from_slice(&self.cy_pos[src..src + rings]);
-                    s.reply.push((id, self.cy_age[pbase + i], pofs));
+                    s.reply_prof.extend_from_slice(cy.profile(peer, i));
+                    s.reply.push((id, age, pofs));
                 }
                 s.reply.shuffle(&mut self.rng);
-                s.reply.truncate(self.shuf);
+                s.reply.truncate(shuf);
 
-                let EpochScratch {
-                    sent,
-                    sent_prof,
-                    reply,
-                    reply_prof,
-                    replaceable,
-                    ..
-                } = s;
+                let peer_id = self.ids[idx(peer)];
                 // Peer merges the request (may evict what it just sent)...
-                self.cyclon_merge(peer, sent, sent_prof, reply, replaceable);
+                cy.merge(
+                    peer,
+                    peer_id,
+                    &s.sent,
+                    &s.sent_prof,
+                    &s.reply,
+                    &mut s.replaceable,
+                );
                 // ...then the initiator merges the reply (may evict what it
                 // sent, never its own fresh descriptor).
-                self.cyclon_merge(slot, reply, reply_prof, sent, replaceable);
+                cy.merge(
+                    slot,
+                    my_id,
+                    &s.reply,
+                    &s.reply_prof,
+                    &s.sent,
+                    &mut s.replaceable,
+                );
             }
             None => {
                 // shuffle_failed: nothing to repair — the dead target's
                 // descriptor already left the view above.
-            }
-        }
-    }
-
-    /// The arena replay of `CyclonNode::merge_received`: fill empty view
-    /// slots first, then evict descriptors this node shipped out (`sent`),
-    /// never anything else.
-    fn cyclon_merge(
-        &mut self,
-        slot: u32,
-        received: &[CyDesc],
-        received_prof: &[u64],
-        sent: &[CyDesc],
-        replaceable: &mut Vec<u64>,
-    ) {
-        let self_id = self.ids[idx(slot)];
-        replaceable.clear();
-        replaceable.extend(sent.iter().map(|d| d.0).filter(|&id| id != self_id));
-        for &(id, age, pofs) in received {
-            if id == self_id || self.cy_contains(slot, id) {
-                continue;
-            }
-            let profile = &received_prof[idx(pofs)..idx(pofs) + self.rings];
-            if (idx(self.cy_len[idx(slot)])) < self.cyc {
-                self.cy_push(slot, id, age, profile);
-                continue;
-            }
-            let mut evicted = false;
-            while let Some(candidate) = replaceable.pop() {
-                if self.cy_remove_id(slot, candidate) {
-                    evicted = true;
-                    break;
-                }
-            }
-            if evicted {
-                self.cy_push(slot, id, age, profile);
             }
         }
     }
@@ -652,233 +621,78 @@ impl DenseSimNetwork {
         idx(self.vi_len[idx(slot) * self.vic_rings + ring])
     }
 
-    /// The ring key of `id` in the slot's view, if present.
-    fn vi_get_key(&self, slot: u32, ring: usize, id: u64) -> Option<u64> {
-        let base = self.vi_base(slot, ring);
-        let len = self.vi_view_len(slot, ring);
-        self.vi_id[base..base + len]
-            .iter()
-            .position(|&e| e == id)
-            .map(|pos| self.vi_key[base + pos])
-    }
-
-    /// Removes the descriptor for `id` if present (order-preserving shift).
-    fn vi_remove_id(&mut self, slot: u32, ring: usize, id: u64) {
-        let base = self.vi_base(slot, ring);
-        let len = self.vi_view_len(slot, ring);
-        if let Some(pos) = self.vi_id[base..base + len].iter().position(|&e| e == id) {
-            self.vi_id
-                .copy_within(base + pos + 1..base + len, base + pos);
-            self.vi_age
-                .copy_within(base + pos + 1..base + len, base + pos);
-            self.vi_key
-                .copy_within(base + pos + 1..base + len, base + pos);
-            self.vi_len[idx(slot) * self.vic_rings + ring] = to_u32(len - 1);
-        }
-    }
-
-    /// Projects a slot's Cyclon view onto ring `ring` — the arena replay of
-    /// `Network::ring_candidates` (every descriptor re-keyed with the peer's
-    /// position on that ring).
-    fn ring_candidates_into(&self, slot: u32, ring: usize, out: &mut Vec<ViDesc>) {
-        out.clear();
-        let base = idx(slot) * self.cyc;
-        let len = idx(self.cy_len[idx(slot)]);
-        for i in 0..len {
-            let key = self.cy_pos[(base + i) * self.rings + ring];
-            out.push((self.cy_id[base + i], self.cy_age[base + i], key));
-        }
-    }
-
-    /// The arena replay of `VicinityNode::payload_for`: the view entries
-    /// closest to `target_key` (never `target` itself), capped at
-    /// `gos - 1`, plus a fresh descriptor of the local node.
-    #[allow(clippy::too_many_arguments)]
-    fn vi_payload_into(
-        &self,
-        slot: u32,
-        ring: usize,
-        target_key: u64,
-        target: u64,
-        self_id: u64,
-        self_key: u64,
-        out: &mut Vec<ViDesc>,
-        rank_in: &mut Vec<(u64, NodeId, u32)>,
-        rank_taken: &mut Vec<bool>,
-        rank_out: &mut Vec<(u64, NodeId, u32)>,
-    ) {
-        let base = self.vi_base(slot, ring);
-        let len = self.vi_view_len(slot, ring);
-        rank_in.clear();
-        for i in 0..len {
-            let id = self.vi_id[base + i];
-            if id == target {
-                continue;
-            }
-            rank_in.push((
-                self.vi_key[base + i],
-                NodeId::new(id),
-                self.vi_age[base + i],
-            ));
-        }
-        rank_by_ring_distance_into(&target_key, rank_in, rank_taken, rank_out);
-        out.clear();
-        out.extend(
-            rank_out
-                .iter()
-                .take(self.gos.saturating_sub(1))
-                .map(|&(key, id, age)| (id.as_u64(), age, key)),
-        );
-        out.push((self_id, 0, self_key));
-    }
-
-    /// The arena replay of `VicinityNode::merge`: pool = own view entries +
-    /// received descriptors + random-layer candidates (younger duplicate
-    /// wins, in first-seen position), then keep the `vic` entries closest to
-    /// the local key.
-    #[allow(clippy::too_many_arguments)]
-    fn vi_merge(
-        &mut self,
-        slot: u32,
-        ring: usize,
-        received: &[ViDesc],
-        cyclon_candidates: &[ViDesc],
-        pool: &mut Vec<ViDesc>,
-        rank_in: &mut Vec<(u64, NodeId, u32)>,
-        rank_taken: &mut Vec<bool>,
-        rank_out: &mut Vec<(u64, NodeId, u32)>,
-    ) {
-        let self_id = self.ids[idx(slot)];
-        let own_key = self.positions[idx(slot) * self.rings + ring];
-
-        fn pool_add(pool: &mut Vec<ViDesc>, self_id: u64, d: ViDesc) {
-            if d.0 == self_id {
-                return;
-            }
-            match pool.iter_mut().find(|e| e.0 == d.0) {
-                Some(existing) => {
-                    if d.1 < existing.1 {
-                        *existing = d;
-                    }
-                }
-                None => pool.push(d),
-            }
-        }
-
-        pool.clear();
-        let base = self.vi_base(slot, ring);
-        let len = self.vi_view_len(slot, ring);
-        for i in 0..len {
-            pool_add(
-                pool,
-                self_id,
-                (
-                    self.vi_id[base + i],
-                    self.vi_age[base + i],
-                    self.vi_key[base + i],
-                ),
-            );
-        }
-        for &d in received {
-            pool_add(pool, self_id, d);
-        }
-        for &d in cyclon_candidates {
-            pool_add(pool, self_id, d);
-        }
-
-        rank_in.clear();
-        rank_in.extend(
-            pool.iter()
-                .map(|&(id, age, key)| (key, NodeId::new(id), age)),
-        );
-        rank_by_ring_distance_into(&own_key, rank_in, rank_taken, rank_out);
-
-        let take = rank_out.len().min(self.vic);
-        for (i, &(key, id, age)) in rank_out.iter().take(take).enumerate() {
-            self.vi_id[base + i] = id.as_u64();
-            self.vi_age[base + i] = age;
-            self.vi_key[base + i] = key;
-        }
-        self.vi_len[idx(slot) * self.vic_rings + ring] = to_u32(take);
-    }
-
     /// One Vicinity exchange on ring `ring` initiated by `slot` — the arena
     /// replay of `VicinityNode::{begin_cycle, initiate_exchange,
-    /// handle_exchange_request, handle_exchange_response, exchange_failed}`.
+    /// handle_exchange_request, handle_exchange_response, exchange_failed}`,
+    /// expressed against the shared [`crate::arena::ViChunk`] operations the
+    /// frontier kernel also uses.
     fn vicinity_gossip(&mut self, slot: u32, my_id: u64, ring: usize, s: &mut EpochScratch) {
-        // The random layer feeds candidates into the proximity layer (from
-        // the initiator's *current* Cyclon view, after its shuffle).
         let EpochScratch {
             cand,
             cand_peer,
             pay,
             reply_v,
-            pool,
-            rank_in,
-            rank_taken,
-            rank_out,
+            vi_scratch,
             ..
         } = s;
-        self.ring_candidates_into(slot, ring, cand);
+        // The random layer feeds candidates into the proximity layer (from
+        // the initiator's *current* Cyclon view, after its shuffle).
+        let cy = cy_chunk_full!(self);
+        let mut vi = vi_chunk_full!(self);
+        cy.ring_candidates_into(slot, ring, cand);
 
         // begin_cycle: age every view entry.
-        let base = self.vi_base(slot, ring);
-        let len = self.vi_view_len(slot, ring);
-        for age in &mut self.vi_age[base..base + len] {
-            *age = age.saturating_add(1);
-        }
+        vi.age_view(slot, ring);
 
         // initiate_exchange: the oldest view entry, or — while the view is
         // still empty — a uniformly random Cyclon candidate (one
         // `gen_range` draw, exactly like the id-keyed runtime).
         let own_key = self.positions[idx(slot) * self.rings + ring];
-        let target = if len > 0 {
-            let mut best = 0usize;
-            for i in 1..len {
-                let (ba, bi) = (self.vi_age[base + best], self.vi_id[base + best]);
-                let (ia, ii) = (self.vi_age[base + i], self.vi_id[base + i]);
-                if ia > ba || (ia == ba && ii < bi) {
-                    best = i;
+        let target = match vi.oldest_id(slot, ring) {
+            Some(target) => target,
+            None => {
+                if cand.is_empty() {
+                    return; // No partner known at all.
                 }
+                cand[self.rng.gen_range(0..cand.len())].0
             }
-            self.vi_id[base + best]
-        } else {
-            if cand.is_empty() {
-                return; // No partner known at all.
-            }
-            cand[self.rng.gen_range(0..cand.len())].0
         };
-        let target_key = self
-            .vi_get_key(slot, ring, target)
+        let target_key = vi
+            .get_key(slot, ring, target)
             .or_else(|| cand.iter().find(|d| d.0 == target).map(|d| d.2))
             .unwrap_or(own_key);
-        self.vi_payload_into(
-            slot, ring, target_key, target, my_id, own_key, pay, rank_in, rank_taken, rank_out,
+        vi.payload_into(
+            slot,
+            ring,
+            (target, target_key),
+            (my_id, own_key),
+            pay,
+            vi_scratch,
         );
 
-        match self.lookup_live(target) {
+        match lookup_live_in(&self.by_id, &self.ids, target) {
             Some(peer) => {
                 let peer_id = self.ids[idx(peer)];
                 let peer_key = self.positions[idx(peer) * self.rings + ring];
-                self.ring_candidates_into(peer, ring, cand_peer);
+                cy.ring_candidates_into(peer, ring, cand_peer);
                 // handle_exchange_request: the reply targets the initiator's
                 // neighbourhood and is captured before the peer merges.
-                self.vi_payload_into(
-                    peer, ring, own_key, my_id, peer_id, peer_key, reply_v, rank_in, rank_taken,
-                    rank_out,
+                vi.payload_into(
+                    peer,
+                    ring,
+                    (my_id, own_key),
+                    (peer_id, peer_key),
+                    reply_v,
+                    vi_scratch,
                 );
-                self.vi_merge(
-                    peer, ring, pay, cand_peer, pool, rank_in, rank_taken, rank_out,
-                );
+                vi.merge(peer, ring, (peer_id, peer_key), pay, cand_peer, vi_scratch);
                 // handle_exchange_response on the initiator.
-                self.vi_merge(
-                    slot, ring, reply_v, cand, pool, rank_in, rank_taken, rank_out,
-                );
+                vi.merge(slot, ring, (my_id, own_key), reply_v, cand, vi_scratch);
             }
             None => {
                 // exchange_failed: drop the dead peer so the ring can
                 // re-close around it.
-                self.vi_remove_id(slot, ring, target);
+                vi.remove_id(slot, ring, target);
             }
         }
     }
@@ -1010,6 +824,10 @@ impl GossipRuntime for DenseSimNetwork {
 
     fn run_cycles(&mut self, count: usize) {
         DenseSimNetwork::run_cycles(self, count)
+    }
+
+    fn rng_mode(&self) -> RngMode {
+        DenseSimNetwork::rng_mode(self)
     }
 
     fn overlay_snapshot(&self) -> OverlaySnapshot {

@@ -50,10 +50,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod arena;
 pub mod churn;
 pub mod config;
 pub mod dense;
 pub mod failure;
+pub mod frontier;
 pub mod network;
 pub mod runtime;
 pub mod sessions;
@@ -61,6 +63,7 @@ pub mod snapshot;
 
 pub use config::SimConfig;
 pub use dense::{DenseSimNetwork, FlatLinks};
+pub use frontier::{stream_seed, RngMode};
 pub use network::Network;
 pub use runtime::GossipRuntime;
 pub use snapshot::OverlaySnapshot;

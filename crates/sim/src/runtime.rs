@@ -18,6 +18,7 @@
 
 use hybridcast_graph::NodeId;
 
+use crate::frontier::RngMode;
 use crate::snapshot::OverlaySnapshot;
 
 /// A cycle-driven gossip simulation that can be driven by the churn,
@@ -56,6 +57,14 @@ pub trait GossipRuntime {
 
     /// Runs `count` gossip cycles.
     fn run_cycles(&mut self, count: usize);
+
+    /// The RNG mode cycles are stepped with. Every runtime defaults to the
+    /// shared-stream mode; only [`crate::DenseSimNetwork`] built with
+    /// [`crate::DenseSimNetwork::new_per_node`] reports
+    /// [`RngMode::PerNode`].
+    fn rng_mode(&self) -> RngMode {
+        RngMode::Shared
+    }
 
     /// Exports a frozen snapshot of the current overlay.
     fn overlay_snapshot(&self) -> OverlaySnapshot;

@@ -395,3 +395,33 @@ fn warm_dense_sim_epoch_is_allocation_free() {
         "warm DenseSimNetwork epoch allocated: {stats:?}"
     );
 }
+
+#[test]
+fn warm_per_node_frontier_cycle_is_allocation_free() {
+    // The sparse-frontier kernel (`--rng per-node`) is held to the same
+    // contract: once the bucket ring, frontier stack, request/reply lanes
+    // and worker scratch have reached steady state, a cycle must not touch
+    // the heap. `threads: 1` exercises the parallel kernel's inline path —
+    // spawning scoped threads allocates, so the single-worker case runs
+    // its workers in place and stays on the zero-alloc contract.
+    let mut net = DenseSimNetwork::new_per_node(
+        SimConfig {
+            nodes: NODES,
+            ..SimConfig::default()
+        },
+        4,
+        4, // gossip period: each cycle steps ~1/4 of the population
+        1,
+    );
+    // Cold phase: enough full periods for every bucket of the ring and
+    // every lane to hit its steady-state capacity.
+    net.run_cycles(40);
+
+    // Measure two full periods so every bucket of the ring is drained and
+    // refilled at least once inside the measured window.
+    let (_, stats) = measure(|| net.run_cycles(8));
+    assert!(
+        stats.is_allocation_free(),
+        "warm per-node frontier cycle allocated: {stats:?}"
+    );
+}
